@@ -1,0 +1,161 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+A1 -- pass composition: QBO-only vs QPO-only vs both vs the extended mode
+      (general eigenphases + Sec. V-D blocks).
+A2 -- early-QBO placement: the paper claims the *early* QBO (Fig. 8 line 1)
+      cascades into faster transpilation; compare against a variant that
+      only runs QBO after routing.
+A3 -- rewrite-rule micro-costs: CNOT cost of each SWAP-family rewrite.
+"""
+
+import pytest
+
+from repro.algorithms import bernstein_vazirani_boolean, quantum_phase_estimation
+from repro.backends import FakeMelbourne
+from repro.rpo import QBOPass, QPOPass
+from repro.transpiler.passmanager import DoWhileController, PassManager, PropertySet
+from repro.transpiler.passes import (
+    ApplyLayout,
+    CommutativeCancellation,
+    ConsolidateBlocks,
+    CXCancellation,
+    DenseLayout,
+    FixedPoint,
+    IBM_BASIS,
+    Optimize1qGates,
+    RemoveAnnotations,
+    RemoveDiagonalGatesBeforeMeasure,
+    Size,
+    StochasticSwap,
+    Unroller,
+)
+
+from .common import transpile_stats
+
+
+def custom_pipeline(backend, seed=0, qbo_early=False, qbo_late=False, qpo=False,
+                    qpo_blocks=False, general=False):
+    basis = tuple(IBM_BASIS)
+    pm = PassManager()
+    if qbo_early:
+        pm.append(QBOPass(general_eigenphase=general))
+    pm.append(Unroller(basis))
+    pm.append(DenseLayout(backend.coupling_map, backend.properties))
+    pm.append(ApplyLayout(backend.coupling_map))
+    pm.append(StochasticSwap(backend.coupling_map, trials=8, seed=seed))
+    if qbo_late:
+        pm.append(QBOPass(general_eigenphase=general))
+    pm.append(Unroller(basis + ("swap", "swapz")))
+    pm.append(Optimize1qGates())
+    if qpo:
+        pm.append(QPOPass(optimize_blocks=qpo_blocks))
+    pm.append(Unroller(basis))
+    pm.append(Optimize1qGates())
+    pm.append(
+        DoWhileController(
+            [ConsolidateBlocks(), Unroller(basis), Optimize1qGates(),
+             CommutativeCancellation(), CXCancellation(), Size(), FixedPoint("size")],
+            do_while=lambda ps: not ps.get("size_fixed_point", False),
+            max_iterations=10,
+        )
+    )
+    pm.append(RemoveDiagonalGatesBeforeMeasure())
+    pm.append(RemoveAnnotations())
+    return pm
+
+
+VARIANTS = {
+    "baseline": {},
+    "qbo_only": dict(qbo_early=True, qbo_late=True),
+    "qpo_only": dict(qpo=True),
+    "qbo+qpo": dict(qbo_early=True, qbo_late=True, qpo=True),
+    "extended": dict(qbo_early=True, qbo_late=True, qpo=True, qpo_blocks=True,
+                     general=True),
+}
+
+
+@pytest.fixture(scope="module")
+def melbourne():
+    return FakeMelbourne()
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_a1_pass_composition(benchmark, melbourne, variant):
+    circuit = quantum_phase_estimation(5)
+
+    def run():
+        pm = custom_pipeline(melbourne, **VARIANTS[variant])
+        return pm.run(circuit.copy(), PropertySet())
+
+    out = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info.update(
+        {"variant": variant, "cx": out.count_ops().get("cx", 0)}
+    )
+
+
+def test_a1_ordering(melbourne):
+    """Each ingredient helps; the combination is at least as good as parts."""
+    circuit = quantum_phase_estimation(5)
+
+    def cx_for(variant):
+        pm = custom_pipeline(melbourne, **VARIANTS[variant])
+        return pm.run(circuit.copy(), PropertySet()).count_ops().get("cx", 0)
+
+    baseline = cx_for("baseline")
+    qbo = cx_for("qbo_only")
+    both = cx_for("qbo+qpo")
+    extended = cx_for("extended")
+    assert qbo <= baseline
+    assert both <= qbo
+    assert extended <= both
+
+
+@pytest.mark.parametrize("placement", ["early+late", "late_only"])
+def test_a2_early_qbo_placement(benchmark, melbourne, placement):
+    """Early QBO shrinks the circuit before layout/routing: the paper's
+    explanation for RPO's *lower* transpile time (Sec. VIII-B)."""
+    circuit = bernstein_vazirani_boolean(8, 0b10110101)
+    kwargs = (
+        dict(qbo_early=True, qbo_late=True, qpo=True)
+        if placement == "early+late"
+        else dict(qbo_early=False, qbo_late=True, qpo=True)
+    )
+
+    def run():
+        pm = custom_pipeline(melbourne, **kwargs)
+        return pm.run(circuit.copy(), PropertySet())
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        {"placement": placement, "cx": out.count_ops().get("cx", 0)}
+    )
+
+
+def test_a3_swap_rewrite_costs():
+    """Micro-costs of the SWAP-family rewrites (paper Eqs. 2-6)."""
+    from repro.circuit import QuantumCircuit
+    from repro.transpiler.passes import Unroller
+    from repro.rpo import QBOPass
+
+    def cx_cost(circuit):
+        unrolled = Unroller().run(circuit, PropertySet())
+        return unrolled.count_ops().get("cx", 0)
+
+    # plain SWAP on unknown states: 3 CNOTs
+    unknown = QuantumCircuit(4)
+    unknown.h(0), unknown.cx(0, 2), unknown.h(1), unknown.cx(1, 3)
+    unknown.swap(0, 1)
+    assert cx_cost(QBOPass().run(unknown, PropertySet())) == 2 + 3
+
+    # SWAP with a |0> input: SWAPZ, 2 CNOTs (Eq. 4)
+    one_zero = QuantumCircuit(3)
+    one_zero.h(1), one_zero.cx(1, 2)
+    one_zero.swap(0, 1)
+    assert cx_cost(QBOPass().run(one_zero, PropertySet())) == 1 + 2
+
+    # SWAP with both basis states known: 0 CNOTs (Eq. 6 / Table VI)
+    both = QuantumCircuit(2)
+    both.h(0)
+    both.x(1)
+    both.swap(0, 1)
+    assert cx_cost(QBOPass().run(both, PropertySet())) == 0

@@ -1,0 +1,49 @@
+"""Figure 10 / Sec. VIII-A: the Bernstein-Vazirani case study.
+
+QBO converts the boolean (CNOT) oracle into the phase (Z) oracle: after RPO
+the boolean design costs exactly as much as the hand-written phase design
+(zero CNOTs), while level 3 cannot remove the oracle CNOTs.
+"""
+
+import pytest
+
+from repro.algorithms import bernstein_vazirani_boolean, bernstein_vazirani_phase
+from repro.backends import FakeMelbourne
+
+from .common import FULL, run_once, transpile_stats
+
+SIZES = [4, 6, 8, 10] if FULL else [4, 6]
+SECRET = {4: 0b1011, 6: 0b110101, 8: 0b10110101, 10: 0b1011010110}
+
+
+@pytest.fixture(scope="module")
+def melbourne():
+    return FakeMelbourne()
+
+
+@pytest.mark.parametrize("design", ["boolean", "phase"])
+@pytest.mark.parametrize("config", ["level3", "rpo"])
+@pytest.mark.parametrize("num_qubits", SIZES)
+def test_fig10(benchmark, melbourne, design, config, num_qubits):
+    builder = (
+        bernstein_vazirani_boolean if design == "boolean" else bernstein_vazirani_phase
+    )
+    circuit = builder(num_qubits, SECRET[num_qubits])
+    benchmark.pedantic(
+        run_once, args=(config, circuit, melbourne), rounds=2, iterations=1
+    )
+    stats = transpile_stats(config, circuit, melbourne)
+    benchmark.extra_info.update(
+        {"design": design, "qubits": num_qubits, "config": config, **stats}
+    )
+
+
+def test_boolean_oracle_matches_phase_oracle_under_rpo(melbourne):
+    for num_qubits in SIZES:
+        boolean = bernstein_vazirani_boolean(num_qubits, SECRET[num_qubits])
+        phase = bernstein_vazirani_phase(num_qubits, SECRET[num_qubits])
+        rpo_boolean = transpile_stats("rpo", boolean, melbourne)["cx"]
+        rpo_phase = transpile_stats("rpo", phase, melbourne)["cx"]
+        level3_boolean = transpile_stats("level3", boolean, melbourne)["cx"]
+        assert rpo_boolean == rpo_phase == 0
+        assert level3_boolean > 0

@@ -1,0 +1,55 @@
+"""Table II: CNOT count and transpile time of the four benchmark algorithms
+on FakeMelbourne, level 3 vs Hoare vs RPO (paper Sec. VIII-B).
+
+The timed unit is one full transpilation; CNOT/1q/depth medians are attached
+as ``extra_info``.  Run ``python benchmarks/run_paper_tables.py`` for the
+paper-formatted rows.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    grover_circuit,
+    quantum_phase_estimation,
+    quantum_volume_circuit,
+    ry_ansatz,
+)
+from repro.backends import FakeMelbourne
+
+from .common import FULL, run_once, transpile_stats
+
+SIZES = [4, 6, 8, 10, 12, 14] if FULL else [4, 6, 8]
+CONFIG_NAMES = ["level3", "hoare", "rpo"]
+
+
+def make_workload(name: str, num_qubits: int):
+    if name == "qpe":
+        return quantum_phase_estimation(num_qubits - 1)
+    if name == "vqe":
+        return ry_ansatz(num_qubits, depth=3, seed=11)
+    if name == "qv":
+        return quantum_volume_circuit(num_qubits, seed=5)
+    if name == "grover":
+        return grover_circuit(num_qubits, design="noancilla")
+    raise ValueError(name)
+
+
+@pytest.fixture(scope="module")
+def melbourne():
+    return FakeMelbourne()
+
+
+@pytest.mark.parametrize("config", CONFIG_NAMES)
+@pytest.mark.parametrize("workload", ["qpe", "vqe", "qv", "grover"])
+@pytest.mark.parametrize("num_qubits", SIZES)
+def test_table2(benchmark, melbourne, workload, num_qubits, config):
+    if workload == "grover" and num_qubits > 8 and not FULL:
+        pytest.skip("large Grover circuits only in REPRO_FULL mode")
+    circuit = make_workload(workload, num_qubits)
+    benchmark.pedantic(
+        run_once, args=(config, circuit, melbourne), rounds=2, iterations=1
+    )
+    stats = transpile_stats(config, circuit, melbourne)
+    benchmark.extra_info.update(
+        {"workload": workload, "qubits": num_qubits, "config": config, **stats}
+    )

@@ -1,0 +1,52 @@
+"""Table III: Grover with clean-ancilla V-chain oracles, with and without
+``ANNOT(0,0)`` annotations, across iteration counts (paper Sec. VIII-C).
+
+Shape under reproduction: without annotations RPO's reductions saturate
+after the first iteration (everything is TOP); annotations restore a
+per-iteration reduction.
+"""
+
+import pytest
+
+from repro.algorithms import grover_circuit
+from repro.backends import FakeMelbourne
+
+from .common import FULL, run_once, transpile_stats
+
+NUM_QUBITS = 8 if FULL else 6
+ITERATIONS = [2, 4, 6, 8, 10, 12, 14] if FULL else [2, 4, 6]
+
+
+@pytest.fixture(scope="module")
+def melbourne():
+    return FakeMelbourne()
+
+
+@pytest.mark.parametrize("iterations", ITERATIONS)
+@pytest.mark.parametrize("mode", ["level3", "rpo", "rpo_annot"])
+def test_table3(benchmark, melbourne, iterations, mode):
+    annotate = mode == "rpo_annot"
+    config = "level3" if mode == "level3" else "rpo"
+    circuit = grover_circuit(
+        NUM_QUBITS, iterations=iterations, design="vchain", annotate=annotate
+    )
+    benchmark.pedantic(
+        run_once, args=(config, circuit, melbourne), rounds=2, iterations=1
+    )
+    stats = transpile_stats(config, circuit, melbourne)
+    benchmark.extra_info.update(
+        {"iterations": iterations, "mode": mode, **stats}
+    )
+
+
+def test_annotations_never_hurt(melbourne):
+    """Regression of the Table III ordering: rpo+annot <= rpo <= level3."""
+    for iterations in ITERATIONS[:2]:
+        plain = grover_circuit(NUM_QUBITS, iterations=iterations, design="vchain")
+        annotated = grover_circuit(
+            NUM_QUBITS, iterations=iterations, design="vchain", annotate=True
+        )
+        level3 = transpile_stats("level3", plain, melbourne)["cx"]
+        rpo = transpile_stats("rpo", plain, melbourne)["cx"]
+        rpo_annot = transpile_stats("rpo", annotated, melbourne)["cx"]
+        assert rpo_annot <= rpo <= level3

@@ -1,0 +1,41 @@
+"""Table IV: QPE across backend connectivities (paper Sec. VIII-D).
+
+Expected shape: the worse the connectivity, the more routing SWAPs, the
+larger RPO's absolute CNOT savings (paper: 18.0%/15.2%/20.6% reductions on
+melbourne/almaden/rochester).
+"""
+
+import pytest
+
+from repro.algorithms import quantum_phase_estimation
+
+from .common import BACKENDS, FULL, run_once, transpile_stats
+
+SIZES = [4, 6, 8, 10, 12, 14] if FULL else [4, 6, 8]
+
+
+@pytest.fixture(scope="module", params=["almaden", "rochester"])
+def backend(request):
+    return BACKENDS[request.param]()
+
+
+@pytest.mark.parametrize("config", ["level3", "rpo"])
+@pytest.mark.parametrize("num_qubits", SIZES)
+def test_table4(benchmark, backend, num_qubits, config):
+    circuit = quantum_phase_estimation(num_qubits - 1)
+    benchmark.pedantic(
+        run_once, args=(config, circuit, backend), rounds=2, iterations=1
+    )
+    stats = transpile_stats(config, circuit, backend)
+    benchmark.extra_info.update(
+        {"backend": backend.name, "qubits": num_qubits, "config": config, **stats}
+    )
+
+
+def test_rpo_wins_on_every_backend():
+    for name, factory in BACKENDS.items():
+        backend = factory()
+        circuit = quantum_phase_estimation(5)
+        level3 = transpile_stats("level3", circuit, backend)["cx"]
+        rpo = transpile_stats("rpo", circuit, backend)["cx"]
+        assert rpo < level3, f"RPO should reduce CNOTs on {name}"

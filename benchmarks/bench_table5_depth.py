@@ -1,0 +1,44 @@
+"""Table V (Appendix E): single-qubit gate count and circuit depth of the
+four benchmark algorithms on FakeMelbourne.
+
+Expected shape: both metrics improve (or stay equal) under RPO.
+"""
+
+import pytest
+
+from repro.backends import FakeMelbourne
+
+from .bench_table2_main import make_workload
+from .common import FULL, run_once, transpile_stats
+
+SIZES = [4, 6, 8, 10, 12, 14] if FULL else [4, 6]
+
+
+@pytest.fixture(scope="module")
+def melbourne():
+    return FakeMelbourne()
+
+
+@pytest.mark.parametrize("config", ["level3", "hoare", "rpo"])
+@pytest.mark.parametrize("workload", ["qpe", "vqe", "qv", "grover"])
+@pytest.mark.parametrize("num_qubits", SIZES)
+def test_table5(benchmark, melbourne, workload, num_qubits, config):
+    if workload == "grover" and num_qubits > 8 and not FULL:
+        pytest.skip("large Grover circuits only in REPRO_FULL mode")
+    circuit = make_workload(workload, num_qubits)
+    benchmark.pedantic(
+        run_once, args=(config, circuit, melbourne), rounds=1, iterations=1
+    )
+    stats = transpile_stats(config, circuit, melbourne)
+    benchmark.extra_info.update(
+        {"workload": workload, "qubits": num_qubits, "config": config,
+         "1q": stats["1q"], "depth": stats["depth"]}
+    )
+
+
+def test_depth_and_1q_improve(melbourne):
+    circuit = make_workload("qpe", 6)
+    level3 = transpile_stats("level3", circuit, melbourne)
+    rpo = transpile_stats("rpo", circuit, melbourne)
+    assert rpo["depth"] <= level3["depth"]
+    assert rpo["1q"] <= level3["1q"] + 2  # small slack: bracket gates

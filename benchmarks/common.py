@@ -1,0 +1,87 @@
+"""Shared benchmark harness.
+
+Provides the paper's measurement protocol (Sec. VII-B): transpile each
+circuit under several pipeline configurations over multiple routing seeds
+and report medians of CNOT count, single-qubit gate count, depth and
+transpile time.
+
+Set ``REPRO_FULL=1`` in the environment to run paper-scale sizes and seed
+counts (the default is a fast configuration suitable for CI).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.backends import FakeAlmaden, FakeMelbourne, FakeRochester
+from repro.rpo import hoare_pass_manager, rpo_extended_pass_manager, rpo_pass_manager
+from repro.transpiler import level_3_pass_manager
+from repro.transpiler.passmanager import PropertySet
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: median over this many seeded transpilations (paper: 25)
+NUM_SEEDS = 25 if FULL else 3
+
+CONFIGS = {
+    "level3": level_3_pass_manager,
+    "hoare": hoare_pass_manager,
+    "rpo": rpo_pass_manager,
+    "rpo_ext": rpo_extended_pass_manager,
+}
+
+BACKENDS = {
+    "melbourne": FakeMelbourne,
+    "almaden": FakeAlmaden,
+    "rochester": FakeRochester,
+}
+
+ONE_QUBIT_GATES = ("u1", "u2", "u3", "id", "x", "h", "z", "s", "sdg", "t", "tdg")
+
+
+def transpile_stats(config: str, circuit, backend, num_seeds: int = None) -> dict:
+    """Median CNOT count / 1q count / depth / time over seeds."""
+    factory = CONFIGS[config]
+    num_seeds = num_seeds or NUM_SEEDS
+    cx, one_q, depth, times = [], [], [], []
+    for seed in range(num_seeds):
+        pm = factory(
+            backend.coupling_map, backend_properties=backend.properties, seed=seed
+        )
+        start = time.perf_counter()
+        out = pm.run(circuit.copy(), PropertySet())
+        times.append(time.perf_counter() - start)
+        ops = out.count_ops()
+        cx.append(ops.get("cx", 0))
+        one_q.append(sum(ops.get(name, 0) for name in ONE_QUBIT_GATES))
+        depth.append(out.depth())
+    return {
+        "cx": int(np.median(cx)),
+        "1q": int(np.median(one_q)),
+        "depth": int(np.median(depth)),
+        "time": float(np.median(times)),
+    }
+
+
+def run_once(config: str, circuit, backend, seed: int = 0):
+    """Single transpilation (the unit timed by pytest-benchmark)."""
+    pm = CONFIGS[config](
+        backend.coupling_map, backend_properties=backend.properties, seed=seed
+    )
+    return pm.run(circuit.copy(), PropertySet())
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Prints paper-formatted rows for Tables II, III, IV, V and the numbers
+behind Figures 10 and 11.  Fast sizes by default; pass ``--full`` for
+paper-scale sizes (4-14 qubits, 25 seeds -- takes a while).
+
+Usage::
+
+    python benchmarks/run_paper_tables.py [--full] [--tables 2,3,4,5,10,11]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.algorithms import (
+    bernstein_vazirani_boolean,
+    bernstein_vazirani_phase,
+    grover_circuit,
+    quantum_phase_estimation,
+    quantum_volume_circuit,
+    ry_ansatz,
+)
+from repro.simulators import NoiseModel, NoisySimulator, success_rate
+
+import common
+from common import BACKENDS, print_table, run_once, transpile_stats
+
+
+def make_workload(name, num_qubits):
+    return {
+        "qpe": lambda: quantum_phase_estimation(num_qubits - 1),
+        "vqe": lambda: ry_ansatz(num_qubits, depth=3, seed=11),
+        "qv": lambda: quantum_volume_circuit(num_qubits, seed=5),
+        "grover": lambda: grover_circuit(num_qubits, design="noancilla"),
+    }[name]()
+
+
+def table2(sizes, seeds):
+    backend = BACKENDS["melbourne"]()
+    rows = []
+    for workload in ("qpe", "vqe", "qv", "grover"):
+        for n in sizes:
+            if workload == "grover" and n > 10:
+                continue  # gray-code oracles grow exponentially
+            circuit = make_workload(workload, n)
+            cells = [workload, n]
+            for config in ("level3", "hoare", "rpo"):
+                stats = transpile_stats(config, circuit, backend, seeds)
+                cells += [stats["cx"], f"{stats['time']:.2f}s"]
+            rows.append(cells)
+    print_table(
+        "Table II: CNOT count and transpile time (FakeMelbourne)",
+        ["bench", "n", "L3 cx", "L3 t", "hoare cx", "hoare t", "RPO cx", "RPO t"],
+        rows,
+    )
+
+
+def table3(seeds, full):
+    backend = BACKENDS["melbourne"]()
+    num_qubits = 8 if full else 6
+    iterations = [2, 4, 6, 8, 10, 12, 14] if full else [2, 4, 6]
+    rows = []
+    for iters in iterations:
+        plain = grover_circuit(num_qubits, iterations=iters, design="vchain")
+        annotated = grover_circuit(
+            num_qubits, iterations=iters, design="vchain", annotate=True
+        )
+        level3 = transpile_stats("level3", plain, backend, seeds)
+        rpo = transpile_stats("rpo", plain, backend, seeds)
+        rpo_annot = transpile_stats("rpo", annotated, backend, seeds)
+        rows.append(
+            [iters, level3["cx"], rpo["cx"], rpo_annot["cx"],
+             level3["depth"], rpo["depth"], rpo_annot["depth"],
+             f"{level3['time']:.2f}", f"{rpo['time']:.2f}", f"{rpo_annot['time']:.2f}"]
+        )
+    print_table(
+        f"Table III: {num_qubits}-qubit Grover w/ clean-ancilla V-chain (FakeMelbourne)",
+        ["iters", "L3 cx", "RPO cx", "RPO+annot cx",
+         "L3 depth", "RPO depth", "RPO+annot depth", "L3 t", "RPO t", "annot t"],
+        rows,
+    )
+
+
+def table4(sizes, seeds):
+    rows = []
+    for backend_name in ("almaden", "rochester"):
+        backend = BACKENDS[backend_name]()
+        for n in sizes:
+            circuit = quantum_phase_estimation(n - 1)
+            level3 = transpile_stats("level3", circuit, backend, seeds)
+            rpo = transpile_stats("rpo", circuit, backend, seeds)
+            rows.append(
+                [backend_name, n, level3["cx"], f"{level3['time']:.2f}s",
+                 rpo["cx"], f"{rpo['time']:.2f}s"]
+            )
+    print_table(
+        "Table IV: QPE across backend connectivities",
+        ["backend", "n", "L3 cx", "L3 t", "RPO cx", "RPO t"],
+        rows,
+    )
+
+
+def table5(sizes, seeds):
+    backend = BACKENDS["melbourne"]()
+    rows = []
+    for workload in ("qpe", "vqe", "qv", "grover"):
+        for n in sizes:
+            if workload == "grover" and n > 10:
+                continue
+            circuit = make_workload(workload, n)
+            cells = [workload, n]
+            for config in ("level3", "hoare", "rpo"):
+                stats = transpile_stats(config, circuit, backend, seeds)
+                cells += [stats["1q"], stats["depth"]]
+            rows.append(cells)
+    print_table(
+        "Table V: single-qubit gate count and depth (FakeMelbourne)",
+        ["bench", "n", "L3 1q", "L3 d", "hoare 1q", "hoare d", "RPO 1q", "RPO d"],
+        rows,
+    )
+
+
+def figure10(seeds):
+    backend = BACKENDS["melbourne"]()
+    rows = []
+    for n, secret in [(4, 0b1011), (6, 0b110101), (8, 0b10110101)]:
+        boolean = bernstein_vazirani_boolean(n, secret)
+        phase = bernstein_vazirani_phase(n, secret)
+        rows.append(
+            [n,
+             transpile_stats("level3", boolean, backend, seeds)["cx"],
+             transpile_stats("rpo", boolean, backend, seeds)["cx"],
+             transpile_stats("level3", phase, backend, seeds)["cx"]]
+        )
+    print_table(
+        "Figure 10: Bernstein-Vazirani boolean vs phase oracle",
+        ["n", "boolean L3 cx", "boolean RPO cx", "phase-design cx"],
+        rows,
+    )
+
+
+def figure11(shots):
+    rows = []
+    for name in ("melbourne", "almaden", "rochester"):
+        backend = BACKENDS[name]()
+        from repro.circuit import remove_idle_qubits
+
+        circuits = {
+            config: remove_idle_qubits(
+                run_once(config, quantum_phase_estimation(3), backend)
+            )[0]
+            for config in ("level3", "rpo")
+        }
+        simulator = NoisySimulator(NoiseModel.from_backend(backend), seed=7)
+        rates, cx = {}, {}
+        for config, circuit in circuits.items():
+            counts = simulator.run(circuit, shots=shots)
+            rates[config] = success_rate(counts, "111")
+            cx[config] = circuit.count_ops().get("cx", 0)
+        improvement = rates["rpo"] / max(rates["level3"], 1e-9)
+        rows.append(
+            [name, cx["level3"], cx["rpo"],
+             f"{rates['level3']:.3f}", f"{rates['rpo']:.3f}", f"{improvement:.2f}x"]
+        )
+    print_table(
+        "Figure 11: 3-qubit QPE success rate under device noise",
+        ["backend", "L3 cx", "RPO cx", "L3 success", "RPO success", "improvement"],
+        rows,
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale sizes")
+    parser.add_argument("--tables", default="2,3,4,5,10,11")
+    args = parser.parse_args()
+
+    if args.full:
+        common.FULL = True
+    sizes = [4, 6, 8, 10, 12, 14] if args.full else [4, 6, 8]
+    seeds = 25 if args.full else 5
+    shots = 4096 if args.full else 2048
+    wanted = set(args.tables.split(","))
+
+    if "2" in wanted:
+        table2(sizes, seeds)
+    if "3" in wanted:
+        table3(seeds, args.full)
+    if "4" in wanted:
+        table4(sizes, seeds)
+    if "5" in wanted:
+        table5(sizes, seeds)
+    if "10" in wanted:
+        figure10(seeds)
+    if "11" in wanted:
+        figure11(shots)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""VQE for Max-Cut with the RY hardware-efficient ansatz (paper Sec. VII-B).
+
+Runs the full variational loop on a small graph, then shows what RPO saves
+when the optimized ansatz is compiled for a device.
+"""
+
+from repro.algorithms import ry_ansatz, vqe_maxcut
+from repro.backends import FakeMelbourne
+from repro.rpo import rpo_pass_manager
+from repro.transpiler import level_3_pass_manager
+from repro.transpiler.passmanager import PropertySet
+
+
+def main():
+    # a 5-vertex ring plus one chord; max cut = 5
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]
+    num_qubits = 5
+
+    print("optimizing the ansatz parameters with COBYLA ...")
+    best, parameters, bitstring = vqe_maxcut(
+        edges, num_qubits, depth=2, seed=3, maxiter=150
+    )
+    print(f"best expected cut: {best:.3f}  (partition {bitstring})\n")
+
+    ansatz = ry_ansatz(num_qubits, depth=2, parameters=parameters, measure=True)
+    backend = FakeMelbourne()
+    for label, pipeline in (
+        ("level3", level_3_pass_manager),
+        ("rpo", rpo_pass_manager),
+    ):
+        pm = pipeline(
+            backend.coupling_map, backend_properties=backend.properties, seed=0
+        )
+        compiled = pm.run(ansatz.copy(), PropertySet())
+        print(
+            f"{label:7s}: {compiled.count_ops().get('cx', 0):3d} CNOTs, "
+            f"depth {compiled.depth()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setup script for the RPO reproduction package.
+
+A classic setup.py (rather than PEP 517 metadata) so that editable installs
+work in offline environments without the `wheel` package.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Relaxed Peephole Optimization: A Novel Compiler "
+        "Optimization for Quantum Circuits' (CGO 2021)"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    license="Apache-2.0",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    extras_require={"test": ["pytest>=7", "pytest-benchmark>=4", "hypothesis>=6"]},
+)

@@ -1,0 +1,32 @@
+"""The paper's benchmark workloads (Sec. VII-B).
+
+* Bernstein-Vazirani (boolean and phase oracle variants, Sec. VIII-A),
+* Quantum Phase Estimation,
+* VQE with the hardware-efficient RY ansatz (+ a Max-Cut driver),
+* Quantum Volume model circuits,
+* Grover's search (no-ancilla and clean-ancilla V-chain oracle designs,
+  with optional annotations -- Sec. VIII-C),
+* a ripple-carry adder (annotation showcase from Sec. VI-C's motivation).
+"""
+
+from repro.algorithms.bernstein_vazirani import (
+    bernstein_vazirani_boolean,
+    bernstein_vazirani_phase,
+)
+from repro.algorithms.qpe import quantum_phase_estimation
+from repro.algorithms.grover import grover_circuit
+from repro.algorithms.quantum_volume import quantum_volume_circuit
+from repro.algorithms.vqe import ry_ansatz, maxcut_hamiltonian, vqe_maxcut
+from repro.algorithms.arithmetic import ripple_carry_adder
+
+__all__ = [
+    "bernstein_vazirani_boolean",
+    "bernstein_vazirani_phase",
+    "quantum_phase_estimation",
+    "grover_circuit",
+    "quantum_volume_circuit",
+    "ry_ansatz",
+    "maxcut_hamiltonian",
+    "vqe_maxcut",
+    "ripple_carry_adder",
+]

@@ -1,0 +1,61 @@
+"""Quantum ripple-carry adder (annotation showcase).
+
+The paper motivates annotations with "quantum networks for elementary
+arithmetic operations" (Sec. VI-C, ref. [44]): such networks uncompute
+their carry qubits, so the programmer knows they are back in ``|0>`` and
+can annotate them.  This module provides a VBE-style ripple-carry adder
+whose carry ancillas are uncomputed, with optional ``ANNOT(0, 0)`` marks.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = ["ripple_carry_adder"]
+
+
+def _majority(circuit, a, b, c) -> None:
+    circuit.cx(c, b)
+    circuit.cx(c, a)
+    circuit.ccx(a, b, c)
+
+
+def _unmajority(circuit, a, b, c) -> None:
+    circuit.ccx(a, b, c)
+    circuit.cx(c, a)
+    circuit.cx(a, b)
+
+
+def ripple_carry_adder(
+    num_bits: int,
+    annotate: bool = False,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """Cuccaro-style in-place adder ``b := a + b`` on two n-bit registers.
+
+    Wire layout: ``a`` = qubits ``0..n-1``, ``b`` = ``n..2n-1``, one carry
+    ancilla at ``2n``, carry-out at ``2n+1``.  The carry ancilla is
+    uncomputed; with ``annotate=True`` an ``ANNOT(0, 0)`` records that for
+    the state analysis.
+    """
+    n = num_bits
+    carry = 2 * n
+    carry_out = 2 * n + 1
+    circuit = QuantumCircuit(2 * n + 2, 2 * n + 2 if measure else 0)
+
+    a = list(range(n))
+    b = list(range(n, 2 * n))
+
+    _majority(circuit, carry, b[0], a[0])
+    for i in range(1, n):
+        _majority(circuit, a[i - 1], b[i], a[i])
+    circuit.cx(a[n - 1], carry_out)
+    for i in range(n - 1, 0, -1):
+        _unmajority(circuit, a[i - 1], b[i], a[i])
+    _unmajority(circuit, carry, b[0], a[0])
+    if annotate:
+        circuit.annotate_zero(carry)
+    if measure:
+        for qubit in range(2 * n + 2):
+            circuit.measure(qubit, qubit)
+    return circuit

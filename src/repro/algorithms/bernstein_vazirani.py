@@ -1,0 +1,61 @@
+"""Bernstein-Vazirani circuits (paper Sec. VIII-A, Fig. 10).
+
+Two implementations of the oracle ``f(x) = x . s``:
+
+* the *boolean* oracle flips an ancilla prepared in ``|->`` through CNOTs
+  (one per set bit of ``s``) -- the design QBO converts into the phase
+  oracle by recognising the ``|->`` target (Table I);
+* the *phase* oracle encodes ``f`` directly with Z gates.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = ["bernstein_vazirani_boolean", "bernstein_vazirani_phase"]
+
+
+def _check(num_qubits: int, secret: int) -> None:
+    if not 0 <= secret < (1 << num_qubits):
+        raise ValueError(f"secret {secret:#x} does not fit in {num_qubits} bits")
+
+
+def bernstein_vazirani_boolean(
+    num_qubits: int, secret: int, measure: bool = True
+) -> QuantumCircuit:
+    """BV with the boolean (CNOT) oracle; uses one extra ancilla qubit."""
+    _check(num_qubits, secret)
+    circuit = QuantumCircuit(num_qubits + 1, num_qubits if measure else 0)
+    ancilla = num_qubits
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits):
+        if (secret >> qubit) & 1:
+            circuit.cx(qubit, ancilla)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    if measure:
+        for qubit in range(num_qubits):
+            circuit.measure(qubit, qubit)
+    return circuit
+
+
+def bernstein_vazirani_phase(
+    num_qubits: int, secret: int, measure: bool = True
+) -> QuantumCircuit:
+    """BV with the phase (Z-gate) oracle; no ancilla, no two-qubit gates."""
+    _check(num_qubits, secret)
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits):
+        if (secret >> qubit) & 1:
+            circuit.z(qubit)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    if measure:
+        for qubit in range(num_qubits):
+            circuit.measure(qubit, qubit)
+    return circuit

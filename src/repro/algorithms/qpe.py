@@ -1,0 +1,60 @@
+"""Quantum Phase Estimation (paper Secs. VII-B, VIII-B, VIII-E).
+
+Estimates the eigenphase ``theta`` of a unitary.  As in the paper's
+experiments we estimate the phase of a ``u1(2*pi*theta)`` gate whose
+eigenvector ``|1>`` is prepared on a target qubit; with ``theta`` expressed
+exactly in ``n`` bits the correct counting-register outcome is
+deterministic (all-ones for the default ``theta = 1 - 2^-n``, matching the
+paper's 3-qubit experiment whose correct output is ``111``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = ["quantum_phase_estimation"]
+
+
+def quantum_phase_estimation(
+    num_counting: int,
+    theta: float | None = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """QPE with ``num_counting`` counting qubits and one eigenstate qubit.
+
+    ``theta`` is the phase to estimate in turns (defaults to
+    ``1 - 2^-num_counting``, which makes the all-ones string the exact
+    answer).  The circuit uses controlled-``u1`` power gates and an inverse
+    QFT on the counting register.
+    """
+    if theta is None:
+        theta = 1.0 - 2.0 ** (-num_counting)
+    total = num_counting + 1
+    target = num_counting
+    circuit = QuantumCircuit(total, num_counting if measure else 0)
+
+    # eigenstate |1> of u1
+    circuit.x(target)
+    for qubit in range(num_counting):
+        circuit.h(qubit)
+    # controlled powers: counting qubit k controls u1(2^k * 2*pi*theta)
+    for k in range(num_counting):
+        angle = 2 * math.pi * theta * (2**k)
+        circuit.cp(angle, k, target)
+    _inverse_qft(circuit, num_counting)
+    if measure:
+        for qubit in range(num_counting):
+            circuit.measure(qubit, qubit)
+    return circuit
+
+
+def _inverse_qft(circuit: QuantumCircuit, num_qubits: int) -> None:
+    """In-place inverse QFT on qubits ``0 .. num_qubits-1`` (with swaps)."""
+    for i in range(num_qubits // 2):
+        circuit.swap(i, num_qubits - 1 - i)
+    for j in range(num_qubits):
+        for m in range(j):
+            circuit.cp(-math.pi / (2 ** (j - m)), m, j)
+        circuit.h(j)

@@ -1,0 +1,40 @@
+"""Quantum Volume model circuits (paper Sec. VII-B, ref. [10]).
+
+Depth-``n`` layers; each layer permutes the qubits randomly and applies
+Haar-random SU(4) gates on the paired qubits.  Fully seeded so the paper's
+median-over-transpilations methodology is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.gates import UnitaryGate
+from repro.linalg.random import as_rng, random_unitary
+
+__all__ = ["quantum_volume_circuit"]
+
+
+def quantum_volume_circuit(
+    num_qubits: int,
+    depth: int | None = None,
+    seed: int | np.random.Generator | None = None,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """A quantum-volume model circuit of the given width and depth."""
+    rng = as_rng(seed)
+    if depth is None:
+        depth = num_qubits
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0)
+    for _ in range(depth):
+        permutation = rng.permutation(num_qubits)
+        for pair_index in range(num_qubits // 2):
+            a = int(permutation[2 * pair_index])
+            b = int(permutation[2 * pair_index + 1])
+            gate = UnitaryGate(random_unitary(4, rng), label="su4")
+            circuit.append(gate, (a, b))
+    if measure:
+        for qubit in range(num_qubits):
+            circuit.measure(qubit, qubit)
+    return circuit

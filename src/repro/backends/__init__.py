@@ -1,0 +1,23 @@
+"""Fake IBM backends: coupling maps plus representative calibration data.
+
+The paper evaluates on three machines (Fig. 9): ``ibmq_16_melbourne``
+(15 qubits, best connectivity of the three), ``ibmq_almaden`` (20 qubits),
+and ``ibmq_rochester`` (53 qubits, worst connectivity).  The paper's own
+artifact appendix recommends Qiskit *fake backends* for reproduction; this
+module plays that role.
+
+Coupling maps: Melbourne and Almaden use the published IBM topologies.
+Rochester's exact edge list is reconstructed as a 53-qubit heavy-hex-style
+lattice with the same qualitative properties the paper relies on (degree
+<= 3, large diameter, clearly the sparsest of the three); see
+:func:`_rochester_edges` and DESIGN.md.
+
+Calibration data is generated deterministically per backend in the ranges
+the paper quotes (Sec. IV): one-qubit gate error ``1e-4 .. 1e-3``, CNOT
+error around ``1e-2`` and worse, readout error of a few percent.
+"""
+
+from repro.backends.backend import BackendProperties, FakeBackend
+from repro.backends.devices import FakeAlmaden, FakeMelbourne, FakeRochester
+
+__all__ = ["BackendProperties", "FakeBackend", "FakeMelbourne", "FakeAlmaden", "FakeRochester"]

@@ -1,0 +1,67 @@
+"""Backend and calibration-data containers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.transpiler.coupling import CouplingMap
+
+__all__ = ["BackendProperties", "FakeBackend"]
+
+
+@dataclasses.dataclass
+class BackendProperties:
+    """Per-qubit / per-edge calibration data.
+
+    Mirrors the fields the paper's optimization and noise model consume:
+    gate errors for the noise-adaptive layout and the Fig. 11 noise model,
+    readout errors for measurement.
+    """
+
+    single_qubit_error: dict[int, float]
+    two_qubit_error: dict[tuple[int, int], float]
+    readout_error: dict[int, tuple[float, float]]
+    default_single_qubit_error: float = 1e-3
+    default_two_qubit_error: float = 2e-2
+    default_readout_error: tuple[float, float] = (3e-2, 3e-2)
+
+    @classmethod
+    def generate(
+        cls,
+        coupling: CouplingMap,
+        seed: int,
+        single_qubit_range: tuple[float, float] = (1e-4, 1e-3),
+        two_qubit_range: tuple[float, float] = (1.2e-2, 5e-2),
+        readout_range: tuple[float, float] = (1.5e-2, 6e-2),
+    ) -> "BackendProperties":
+        """Deterministically sample calibration data in realistic ranges."""
+        rng = np.random.default_rng(seed)
+
+        def log_uniform(low: float, high: float) -> float:
+            return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+        single = {q: log_uniform(*single_qubit_range) for q in range(coupling.num_qubits)}
+        two = {edge: log_uniform(*two_qubit_range) for edge in coupling.edges}
+        readout = {
+            q: (log_uniform(*readout_range), log_uniform(*readout_range))
+            for q in range(coupling.num_qubits)
+        }
+        return cls(single_qubit_error=single, two_qubit_error=two, readout_error=readout)
+
+
+class FakeBackend:
+    """A named device: coupling map + calibration data."""
+
+    def __init__(self, name: str, coupling_map: CouplingMap, properties: BackendProperties):
+        self.name = name
+        self.coupling_map = coupling_map
+        self.properties = properties
+
+    @property
+    def num_qubits(self) -> int:
+        return self.coupling_map.num_qubits
+
+    def __repr__(self) -> str:
+        return f"<FakeBackend {self.name!r} ({self.num_qubits} qubits)>"

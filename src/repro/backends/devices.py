@@ -1,0 +1,88 @@
+"""The three devices from the paper's evaluation (Fig. 9)."""
+
+from __future__ import annotations
+
+from repro.backends.backend import BackendProperties, FakeBackend
+from repro.transpiler.coupling import CouplingMap
+
+__all__ = ["FakeMelbourne", "FakeAlmaden", "FakeRochester"]
+
+#: Published ``ibmq_16_melbourne`` topology: two horizontal rows with
+#: vertical rungs (15 usable qubits).
+_MELBOURNE_EDGES = [
+    (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6),
+    (7, 8), (8, 9), (9, 10), (10, 11), (11, 12), (12, 13), (13, 14),
+    (0, 14), (1, 13), (2, 12), (3, 11), (4, 10), (5, 9), (6, 8),
+]
+
+#: Published ``ibmq_almaden`` (20-qubit Penguin) topology.
+_ALMADEN_EDGES = [
+    (0, 1), (1, 2), (2, 3), (3, 4),
+    (1, 6), (3, 8),
+    (5, 6), (6, 7), (7, 8), (8, 9),
+    (5, 10), (7, 12), (9, 14),
+    (10, 11), (11, 12), (12, 13), (13, 14),
+    (11, 16), (13, 18),
+    (15, 16), (16, 17), (17, 18), (18, 19),
+]
+
+
+def _rochester_edges() -> list[tuple[int, int]]:
+    """A 53-qubit heavy-hex-style lattice standing in for ``ibmq_rochester``.
+
+    Five rows of nine qubits connected by two vertical connector qubits per
+    row gap (45 + 8 = 53 qubits).  Degree <= 3 everywhere and a large
+    diameter: the sparsest topology of the three, matching the paper's
+    connectivity ranking (Sec. VIII-D).
+    """
+    edges: list[tuple[int, int]] = []
+    rows = [list(range(9 * r, 9 * r + 9)) for r in range(5)]
+    for row in rows:
+        edges.extend((row[i], row[i + 1]) for i in range(len(row) - 1))
+    connector = 45
+    for gap in range(4):
+        top, bottom = rows[gap], rows[gap + 1]
+        # alternate attachment columns so consecutive gaps are offset,
+        # as in the heavy-hex pattern
+        columns = (1, 7) if gap % 2 == 0 else (3, 5)
+        for column in columns:
+            edges.append((top[column], connector))
+            edges.append((connector, bottom[column]))
+            connector += 1
+    return edges
+
+
+def FakeMelbourne() -> FakeBackend:
+    """15-qubit ``ibmq_16_melbourne`` stand-in."""
+    coupling = CouplingMap(_MELBOURNE_EDGES, num_qubits=15)
+    properties = BackendProperties.generate(
+        coupling,
+        seed=16,
+        two_qubit_range=(1.5e-2, 6e-2),   # melbourne-era CNOTs were noisy
+        readout_range=(2e-2, 8e-2),
+    )
+    return FakeBackend("fake_melbourne", coupling, properties)
+
+
+def FakeAlmaden() -> FakeBackend:
+    """20-qubit ``ibmq_almaden`` stand-in."""
+    coupling = CouplingMap(_ALMADEN_EDGES, num_qubits=20)
+    properties = BackendProperties.generate(
+        coupling,
+        seed=20,
+        two_qubit_range=(8e-3, 3e-2),
+        readout_range=(1.5e-2, 5e-2),
+    )
+    return FakeBackend("fake_almaden", coupling, properties)
+
+
+def FakeRochester() -> FakeBackend:
+    """53-qubit ``ibmq_rochester`` stand-in (reconstructed topology)."""
+    coupling = CouplingMap(_rochester_edges(), num_qubits=53)
+    properties = BackendProperties.generate(
+        coupling,
+        seed=53,
+        two_qubit_range=(1.2e-2, 5e-2),
+        readout_range=(2e-2, 7e-2),
+    )
+    return FakeBackend("fake_rochester", coupling, properties)

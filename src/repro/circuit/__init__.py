@@ -1,0 +1,43 @@
+"""Quantum circuit intermediate representation.
+
+The IR mirrors the layered design of production quantum compilers:
+
+* :class:`~repro.circuit.instruction.Instruction` /
+  :class:`~repro.circuit.instruction.Gate` -- operations, optionally with a
+  ``definition`` sub-circuit (used by the unroller);
+* :class:`~repro.circuit.register.QuantumRegister` /
+  :class:`~repro.circuit.register.ClassicalRegister` -- named wire groups;
+* :class:`~repro.circuit.quantumcircuit.QuantumCircuit` -- the builder API
+  programs are written against (qubits are plain integer wire indices);
+* :class:`~repro.circuit.dag.DAGCircuit` -- the dependency-graph form the
+  transpiler passes operate on.
+
+Matrix conventions are little-endian throughout: bit ``k`` of a state/matrix
+index corresponds to the ``k``-th qubit argument of a gate, and to qubit
+``k`` of a circuit.
+"""
+
+from repro.circuit.instruction import Instruction, Gate, ControlledGate
+from repro.circuit.register import QuantumRegister, ClassicalRegister
+from repro.circuit.quantumcircuit import QuantumCircuit, CircuitInstruction
+from repro.circuit.dag import DAGCircuit, DAGNode
+from repro.circuit.converters import circuit_to_dag, dag_to_circuit
+from repro.circuit.compact import remove_idle_qubits
+from repro.circuit.qasm import to_qasm, from_qasm
+
+__all__ = [
+    "Instruction",
+    "Gate",
+    "ControlledGate",
+    "QuantumRegister",
+    "ClassicalRegister",
+    "QuantumCircuit",
+    "CircuitInstruction",
+    "DAGCircuit",
+    "DAGNode",
+    "circuit_to_dag",
+    "dag_to_circuit",
+    "remove_idle_qubits",
+    "to_qasm",
+    "from_qasm",
+]

@@ -1,0 +1,34 @@
+"""Idle-wire removal.
+
+Transpiled circuits are device-wide (e.g. 53 qubits on Rochester) even when
+only a handful of wires carry gates.  Simulating them naively allocates a
+``2^53`` statevector; :func:`remove_idle_qubits` compacts the circuit onto
+its active wires first.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = ["remove_idle_qubits"]
+
+
+def remove_idle_qubits(circuit: QuantumCircuit) -> tuple[QuantumCircuit, dict[int, int]]:
+    """Drop qubits no operation touches.
+
+    Returns ``(compacted_circuit, mapping)`` where ``mapping`` sends old
+    qubit indices to new ones.  Classical bits are preserved unchanged.
+    """
+    active = sorted({q for inst in circuit.data for q in inst.qubits})
+    mapping = {old: new for new, old in enumerate(active)}
+    compacted = QuantumCircuit(
+        len(active), circuit.num_clbits, name=circuit.name
+    )
+    compacted.global_phase = circuit.global_phase
+    for instruction in circuit.data:
+        compacted.append(
+            instruction.operation,
+            tuple(mapping[q] for q in instruction.qubits),
+            instruction.clbits,
+        )
+    return compacted, mapping

@@ -1,0 +1,28 @@
+"""Converters between the linear circuit form and the DAG form."""
+
+from __future__ import annotations
+
+from repro.circuit.dag import DAGCircuit
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = ["circuit_to_dag", "dag_to_circuit"]
+
+
+def circuit_to_dag(circuit: QuantumCircuit) -> DAGCircuit:
+    """Build the dependency DAG of ``circuit``."""
+    dag = DAGCircuit(circuit.num_qubits, circuit.num_clbits, name=circuit.name)
+    dag.global_phase = circuit.global_phase
+    for instruction in circuit.data:
+        dag.apply_operation_back(
+            instruction.operation, instruction.qubits, instruction.clbits
+        )
+    return dag
+
+
+def dag_to_circuit(dag: DAGCircuit) -> QuantumCircuit:
+    """Linearise a DAG back into a circuit (deterministic topological order)."""
+    circuit = QuantumCircuit(dag.num_qubits, dag.num_clbits, name=dag.name)
+    circuit.global_phase = dag.global_phase
+    for node in dag.topological_op_nodes():
+        circuit.append(node.operation, node.qubits, node.clbits)
+    return circuit

@@ -1,0 +1,50 @@
+"""Helpers for assembling full-circuit unitaries from gate matrices.
+
+Only used for small circuits (tests, two-qubit block consolidation); the
+statevector simulator has its own tensor-contraction path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["embed_gate"]
+
+
+def embed_gate(
+    gate_matrix: np.ndarray, qargs: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed a k-qubit gate acting on ``qargs`` into an n-qubit unitary.
+
+    Little-endian: bit ``j`` of the gate's own index corresponds to
+    ``qargs[j]``; bit ``q`` of the full index corresponds to circuit qubit
+    ``q``.
+    """
+    k = len(qargs)
+    if gate_matrix.shape != (2**k, 2**k):
+        raise ValueError(
+            f"gate matrix shape {gate_matrix.shape} does not match {k} qubits"
+        )
+    if len(set(qargs)) != k:
+        raise ValueError(f"duplicate qubits in {qargs}")
+    if any(q < 0 or q >= num_qubits for q in qargs):
+        raise ValueError(f"qubit arguments {qargs} out of range for {num_qubits} qubits")
+
+    rest = [q for q in range(num_qubits) if q not in qargs]
+    full = np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)
+    for rest_assignment in range(2 ** len(rest)):
+        base = 0
+        for j, wire in enumerate(rest):
+            if (rest_assignment >> j) & 1:
+                base |= 1 << wire
+        rows = np.empty(2**k, dtype=np.intp)
+        for local in range(2**k):
+            index = base
+            for j, wire in enumerate(qargs):
+                if (local >> j) & 1:
+                    index |= 1 << wire
+            rows[local] = index
+        full[np.ix_(rows, rows)] = gate_matrix
+    return full

@@ -1,0 +1,161 @@
+"""OpenQASM 2.0 export and import.
+
+Round-trips the gate set the transpiler emits (basis gates, the standard
+library, SWAP/SWAPZ) so compiled circuits can be exchanged with other
+toolchains.  ``swapz`` and ``annot`` have no OpenQASM equivalents: SWAPZ is
+emitted through an inline ``gate`` definition (its two CNOTs), annotations
+as structured comments that :func:`from_qasm` restores.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_SIMPLE = {
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+    "cx", "cy", "cz", "ch", "swap", "ccx", "ccz", "cswap",
+}
+_PARAMETRIC = {
+    "u1": 1, "u2": 2, "u3": 3, "rx": 1, "ry": 1, "rz": 1, "cp": 1,
+    "crx": 1, "cry": 1, "crz": 1, "cu3": 3,
+}
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+_SWAPZ_DEF = "gate swapz a,b { cx b,a; cx a,b; }\n"
+
+
+def _format_angle(value: float) -> str:
+    """Emit angles as exact multiples of pi where possible."""
+    for denominator in (1, 2, 3, 4, 6, 8, 16):
+        for numerator in range(-16, 17):
+            if numerator == 0:
+                continue
+            if abs(value - numerator * math.pi / denominator) < 1e-12:
+                sign = "-" if numerator < 0 else ""
+                num = abs(numerator)
+                numerator_text = "pi" if num == 1 else f"{num}*pi"
+                if denominator == 1:
+                    return f"{sign}{numerator_text}"
+                return f"{sign}{numerator_text}/{denominator}"
+    if abs(value) < 1e-15:
+        return "0"
+    return repr(float(value))
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise ``circuit`` to an OpenQASM 2.0 program string."""
+    lines = [_HEADER.rstrip()]
+    if any(inst.operation.name == "swapz" for inst in circuit.data):
+        lines.append(_SWAPZ_DEF.rstrip())
+    lines.append(f"qreg q[{max(circuit.num_qubits, 1)}];")
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+
+    for instruction in circuit.data:
+        operation = instruction.operation
+        name = operation.name
+        qargs = ",".join(f"q[{q}]" for q in instruction.qubits)
+        if name == "measure":
+            lines.append(
+                f"measure q[{instruction.qubits[0]}] -> c[{instruction.clbits[0]}];"
+            )
+        elif name == "reset":
+            lines.append(f"reset q[{instruction.qubits[0]}];")
+        elif name == "barrier":
+            lines.append(f"barrier {qargs};")
+        elif name == "annot":
+            theta, phi = operation.params[:2]
+            lines.append(
+                f"// ANNOT({_format_angle(theta)},{_format_angle(phi)}) "
+                f"q[{instruction.qubits[0]}]"
+            )
+        elif name in _SIMPLE or name == "swapz":
+            lines.append(f"{name} {qargs};")
+        elif name in _PARAMETRIC:
+            params = ",".join(_format_angle(p) for p in operation.params)
+            lines.append(f"{name}({params}) {qargs};")
+        else:
+            raise ValueError(
+                f"operation {name!r} has no OpenQASM 2 representation; "
+                "unroll the circuit to basis gates first"
+            )
+    return "\n".join(lines) + "\n"
+
+
+_INSTRUCTION_RE = re.compile(
+    r"^(?P<name>[a-z_][a-z0-9_]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]+);$"
+)
+_MEASURE_RE = re.compile(r"^measure\s+q\[(\d+)\]\s*->\s*c\[(\d+)\];$")
+_ANNOT_RE = re.compile(r"^// ANNOT\(([^,]+),([^)]+)\)\s+q\[(\d+)\]$")
+
+
+def _eval_angle(text: str) -> float:
+    text = text.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\) ]+", text):
+        raise ValueError(f"unsupported angle expression {text!r}")
+    return float(eval(text, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program produced by :func:`to_qasm`.
+
+    Supports the single ``q``/``c`` register layout, the gate set above,
+    inline ``swapz`` definitions, and ANNOT comments.
+    """
+    num_qubits = num_clbits = 0
+    body: list[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("OPENQASM", "include", "gate ")):
+            if line.startswith("// ANNOT"):
+                body.append(line)
+            continue
+        match = re.match(r"^qreg\s+q\[(\d+)\];$", line)
+        if match:
+            num_qubits = int(match.group(1))
+            continue
+        match = re.match(r"^creg\s+c\[(\d+)\];$", line)
+        if match:
+            num_clbits = int(match.group(1))
+            continue
+        if line.startswith("//") and not line.startswith("// ANNOT"):
+            continue
+        body.append(line)
+
+    circuit = QuantumCircuit(num_qubits, num_clbits)
+    for line in body:
+        annot = _ANNOT_RE.match(line)
+        if annot:
+            circuit.annotate(int(annot.group(3)), _eval_angle(annot.group(1)),
+                             _eval_angle(annot.group(2)))
+            continue
+        measure = _MEASURE_RE.match(line)
+        if measure:
+            circuit.measure(int(measure.group(1)), int(measure.group(2)))
+            continue
+        match = _INSTRUCTION_RE.match(line)
+        if not match:
+            raise ValueError(f"cannot parse OpenQASM line {line!r}")
+        name = match.group("name")
+        params = [
+            _eval_angle(p) for p in (match.group("params") or "").split(",") if p
+        ]
+        qubits = [int(q) for q in re.findall(r"q\[(\d+)\]", match.group("args"))]
+        if name == "barrier":
+            circuit.barrier(*qubits)
+        elif name == "reset":
+            circuit.reset(qubits[0])
+        elif name in _SIMPLE or name == "swapz":
+            getattr(circuit, name if name != "id" else "id")(*qubits)
+        elif name in _PARAMETRIC:
+            getattr(circuit, name)(*params, *qubits)
+        else:
+            raise ValueError(f"unsupported OpenQASM gate {name!r}")
+    return circuit

@@ -1,0 +1,80 @@
+"""Named groups of quantum and classical wires.
+
+Registers are a thin naming layer over the integer wire indices the rest of
+the stack uses.  A register is *bound* to a circuit when the circuit is
+constructed with it; binding assigns the global indices.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = ["QuantumRegister", "ClassicalRegister"]
+
+_quantum_counter = itertools.count()
+_classical_counter = itertools.count()
+
+
+class _Register:
+    """Common implementation for quantum and classical registers."""
+
+    _prefix = "reg"
+
+    def __init__(self, size: int, name: str | None = None):
+        if size < 0:
+            raise ValueError("register size must be non-negative")
+        if name is None:
+            name = f"{self._prefix}{next(self._counter())}"
+        self.size = int(size)
+        self.name = name
+        self._indices: list[int] | None = None
+
+    @classmethod
+    def _counter(cls):
+        raise NotImplementedError
+
+    def _bind(self, start: int) -> None:
+        """Assign global wire indices ``start .. start+size-1``."""
+        if self._indices is not None:
+            raise ValueError(f"register {self.name!r} is already bound to a circuit")
+        self._indices = list(range(start, start + self.size))
+
+    @property
+    def indices(self) -> list[int]:
+        if self._indices is None:
+            raise ValueError(f"register {self.name!r} is not bound to a circuit")
+        return list(self._indices)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, key: int | slice):
+        if self._indices is None:
+            raise ValueError(f"register {self.name!r} is not bound to a circuit")
+        return self._indices[key]
+
+    def __iter__(self):
+        return iter(self.indices)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.size}, {self.name!r})"
+
+
+class QuantumRegister(_Register):
+    """A named group of qubits."""
+
+    _prefix = "q"
+
+    @classmethod
+    def _counter(cls):
+        return _quantum_counter
+
+
+class ClassicalRegister(_Register):
+    """A named group of classical bits."""
+
+    _prefix = "c"
+
+    @classmethod
+    def _counter(cls):
+        return _classical_counter

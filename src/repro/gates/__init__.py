@@ -1,0 +1,92 @@
+"""The gate library.
+
+Every gate the paper's optimization rules mention is available here,
+including the paper's own :class:`~repro.gates.twoqubit.SwapZGate` (the
+two-CNOT "swap-with-zero", Eq. 3) and the
+:class:`~repro.gates.instruction_ops.Annotation` directive (Sec. VI-C).
+
+Matrix conventions are little-endian in gate-argument order: bit ``k`` of a
+matrix index is the ``k``-th qubit argument (controls come first).
+"""
+
+from repro.gates.standard import (
+    IGate,
+    XGate,
+    YGate,
+    ZGate,
+    HGate,
+    SGate,
+    SdgGate,
+    TGate,
+    TdgGate,
+    SXGate,
+)
+from repro.gates.parametric import RXGate, RYGate, RZGate, U1Gate, U2Gate, U3Gate
+from repro.gates.twoqubit import (
+    CXGate,
+    CYGate,
+    CZGate,
+    CHGate,
+    CPhaseGate,
+    CRXGate,
+    CRYGate,
+    CRZGate,
+    CU3Gate,
+    SwapGate,
+    SwapZGate,
+    ISwapGate,
+)
+from repro.gates.multi import (
+    CCXGate,
+    CCZGate,
+    CSwapGate,
+    MCU1Gate,
+    MCXGate,
+    MCZGate,
+    MCXVChainGate,
+)
+from repro.gates.instruction_ops import Measure, Reset, Barrier, Annotation
+from repro.gates.unitary import UnitaryGate
+
+__all__ = [
+    "IGate",
+    "XGate",
+    "YGate",
+    "ZGate",
+    "HGate",
+    "SGate",
+    "SdgGate",
+    "TGate",
+    "TdgGate",
+    "SXGate",
+    "RXGate",
+    "RYGate",
+    "RZGate",
+    "U1Gate",
+    "U2Gate",
+    "U3Gate",
+    "CXGate",
+    "CYGate",
+    "CZGate",
+    "CHGate",
+    "CPhaseGate",
+    "CRXGate",
+    "CRYGate",
+    "CRZGate",
+    "CU3Gate",
+    "SwapGate",
+    "SwapZGate",
+    "ISwapGate",
+    "CCXGate",
+    "CCZGate",
+    "CSwapGate",
+    "MCU1Gate",
+    "MCXGate",
+    "MCZGate",
+    "MCXVChainGate",
+    "Measure",
+    "Reset",
+    "Barrier",
+    "Annotation",
+    "UnitaryGate",
+]

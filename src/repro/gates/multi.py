@@ -1,0 +1,280 @@
+"""Multi-qubit gates: Toffoli, Fredkin and multi-controlled families.
+
+The multi-controlled phase gate uses a gray-code parity network (cost
+``O(2^n)`` CNOTs, the standard ancilla-free construction); the V-chain MCX
+uses ``2(k-2)+1`` Toffolis with *clean* ancillas -- the design whose
+annotation-based optimization the paper studies in Sec. VIII-C.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.instruction import ControlledGate, Gate
+from repro.gates.parametric import RZGate, U1Gate
+from repro.gates.standard import HGate, TdgGate, TGate, XGate, ZGate
+from repro.gates.twoqubit import CXGate
+
+__all__ = [
+    "CCXGate",
+    "CCZGate",
+    "CSwapGate",
+    "MCU1Gate",
+    "MCXGate",
+    "MCZGate",
+    "MCXVChainGate",
+]
+
+
+def _circuit(num_qubits, global_phase=0.0):
+    from repro.circuit.quantumcircuit import QuantumCircuit
+
+    return QuantumCircuit(num_qubits, global_phase=global_phase)
+
+
+class CCXGate(ControlledGate):
+    """Toffoli gate; standard six-CNOT decomposition."""
+
+    def __init__(self, ctrl_state: int | None = None):
+        super().__init__("ccx", 2, XGate(), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CCXGate(ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 3:
+            return super()._define()
+        circuit = _circuit(3)
+        circuit.append(HGate(), (2,))
+        circuit.append(CXGate(), (1, 2))
+        circuit.append(TdgGate(), (2,))
+        circuit.append(CXGate(), (0, 2))
+        circuit.append(TGate(), (2,))
+        circuit.append(CXGate(), (1, 2))
+        circuit.append(TdgGate(), (2,))
+        circuit.append(CXGate(), (0, 2))
+        circuit.append(TGate(), (1,))
+        circuit.append(TGate(), (2,))
+        circuit.append(HGate(), (2,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(TGate(), (0,))
+        circuit.append(TdgGate(), (1,))
+        circuit.append(CXGate(), (0, 1))
+        return circuit
+
+
+class CCZGate(ControlledGate):
+    """Doubly-controlled Z."""
+
+    def __init__(self, ctrl_state: int | None = None):
+        super().__init__("ccz", 2, ZGate(), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CCZGate(ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 3:
+            return super()._define()
+        circuit = _circuit(3)
+        circuit.append(HGate(), (2,))
+        circuit.append(CCXGate(), (0, 1, 2))
+        circuit.append(HGate(), (2,))
+        return circuit
+
+
+class CSwapGate(Gate):
+    """Fredkin (controlled-SWAP) gate.
+
+    Decomposition per paper Fig. 14: CNOT, Toffoli, CNOT.  Argument order
+    ``(control, a, b)``.
+    """
+
+    def __init__(self):
+        super().__init__("cswap", 3)
+
+    def to_matrix(self):
+        import numpy as np
+
+        matrix = np.eye(8, dtype=complex)
+        # control is bit 0; swap bits 1 and 2 when bit 0 is set
+        for state in range(8):
+            if state & 1:
+                bit_a = (state >> 1) & 1
+                bit_b = (state >> 2) & 1
+                swapped = (state & 1) | (bit_b << 1) | (bit_a << 2)
+                matrix[state, state] = 0
+                matrix[swapped, state] = 1
+        return matrix
+
+    def inverse(self):
+        return CSwapGate()
+
+    def _define(self):
+        circuit = _circuit(3)
+        circuit.append(CXGate(), (2, 1))
+        circuit.append(CCXGate(), (0, 1, 2))
+        circuit.append(CXGate(), (2, 1))
+        return circuit
+
+
+class MCU1Gate(ControlledGate):
+    """Multi-controlled phase gate (``num_ctrl`` controls + one target).
+
+    Applies ``exp(i*lam)`` exactly when every control *and* the target are
+    ``|1>`` (the gate is symmetric in all of its wires).  The definition is
+    a gray-code parity network: phase polynomials ``exp(i*theta_T Z_T)`` over
+    all wire subsets ``T``, recursing on the wire count.
+    """
+
+    def __init__(self, lam: float, num_ctrl_qubits: int, ctrl_state: int | None = None):
+        super().__init__("mcu1", num_ctrl_qubits, U1Gate(lam), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return MCU1Gate(-self.params[0], self.num_ctrl_qubits, ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        all_ones = (1 << self.num_ctrl_qubits) - 1
+        if self.ctrl_state != all_ones:
+            return super()._define()
+        (lam,) = self.params
+        num_wires = self.num_qubits
+        return _mcphase_definition(lam, num_wires)
+
+
+def _mcphase_definition(lam: float, num_wires: int):
+    """Definition of ``exp(i*lam * x_0 x_1 ... x_{n-1})`` over ``n`` wires.
+
+    Expands the AND into Z-parity terms: the terms involving the last wire
+    form a gray-code CNOT/Rz ladder on it; the remaining terms are the same
+    gate with half the angle on one fewer wire (handled by recursion through
+    the unroller).
+    """
+    circuit = _circuit(num_wires)
+    if num_wires == 1:
+        circuit.append(U1Gate(lam), (0,))
+        return circuit
+
+    accumulator = num_wires - 1
+    rest = num_wires - 1
+    unit = lam / (2**num_wires)
+    # T = {accumulator}: theta = -unit (|T| = 1); exp(i*theta*Z) = Rz(-2*theta)
+    circuit.append(RZGate(2 * unit), (accumulator,))
+    gray_prev = 0
+    for index in range(1, 2**rest):
+        gray = index ^ (index >> 1)
+        changed = (gray ^ gray_prev).bit_length() - 1
+        circuit.append(CXGate(), (changed, accumulator))
+        parity = bin(gray).count("1")  # |S|; |T| = |S| + 1
+        theta = unit * ((-1) ** (parity + 1))
+        circuit.append(RZGate(-2 * theta), (accumulator,))
+        gray_prev = gray
+    # final gray code of the loop is 2^(rest-1): a single set bit to undo
+    last_wire = gray_prev.bit_length() - 1
+    circuit.append(CXGate(), (last_wire, accumulator))
+
+    # Remaining subsets (those without the accumulator) form exactly the
+    # half-angle gate on the first n-1 wires -- including the empty-set
+    # global-phase term, so no extra phase is added here.
+    if rest == 1:
+        circuit.append(U1Gate(lam / 2), (0,))
+    else:
+        circuit.append(MCU1Gate(lam / 2, rest - 1), tuple(range(rest)))
+    return circuit
+
+
+class MCXGate(ControlledGate):
+    """Multi-controlled X without ancillas.
+
+    For three or more controls the definition is ``H . MCU1(pi) . H`` on the
+    target, inheriting the gray-code network (``O(2^n)`` CNOTs -- the
+    expensive design the paper contrasts with the V-chain, Sec. VIII-C).
+    """
+
+    def __init__(self, num_ctrl_qubits: int, ctrl_state: int | None = None):
+        name = "cx" if num_ctrl_qubits == 1 else ("ccx" if num_ctrl_qubits == 2 else "mcx")
+        super().__init__(name, num_ctrl_qubits, XGate(), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return MCXGate(self.num_ctrl_qubits, ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        all_ones = (1 << self.num_ctrl_qubits) - 1
+        if self.ctrl_state != all_ones:
+            return super()._define()
+        k = self.num_ctrl_qubits
+        circuit = _circuit(k + 1)
+        if k == 1:
+            circuit.append(CXGate(), (0, 1))
+        elif k == 2:
+            circuit.append(CCXGate(), (0, 1, 2))
+        else:
+            circuit.append(HGate(), (k,))
+            circuit.append(MCU1Gate(math.pi, k), tuple(range(k + 1)))
+            circuit.append(HGate(), (k,))
+        return circuit
+
+
+class MCZGate(ControlledGate):
+    """Multi-controlled Z: a phase of ``pi`` on the all-ones state."""
+
+    def __init__(self, num_ctrl_qubits: int, ctrl_state: int | None = None):
+        name = "cz" if num_ctrl_qubits == 1 else ("ccz" if num_ctrl_qubits == 2 else "mcz")
+        super().__init__(name, num_ctrl_qubits, ZGate(), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return MCZGate(self.num_ctrl_qubits, ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        all_ones = (1 << self.num_ctrl_qubits) - 1
+        if self.ctrl_state != all_ones:
+            return super()._define()
+        k = self.num_ctrl_qubits
+        circuit = _circuit(k + 1)
+        circuit.append(MCU1Gate(math.pi, k), tuple(range(k + 1)))
+        return circuit
+
+
+class MCXVChainGate(Gate):
+    """Multi-controlled X with a chain of *clean* ancilla qubits.
+
+    Argument order: ``controls + ancillas + (target,)`` with
+    ``num_ancillas = max(0, num_controls - 2)``.  Uses ``2(k-2)+1`` Toffolis
+    (linear cost); the ancillas are computed and uncomputed, so they end in
+    ``|0>`` again -- exactly the "clean ancilla" pattern the paper's
+    ``ANNOT(0, 0)`` annotations exploit (Fig. 7).
+    """
+
+    def __init__(self, num_ctrl_qubits: int):
+        if num_ctrl_qubits < 1:
+            raise ValueError("need at least one control")
+        self.num_ctrl_qubits = int(num_ctrl_qubits)
+        self.num_ancillas = max(0, num_ctrl_qubits - 2)
+        super().__init__(
+            "mcx_vchain", num_ctrl_qubits + self.num_ancillas + 1
+        )
+
+    def inverse(self):
+        return MCXVChainGate(self.num_ctrl_qubits)
+
+    def _define(self):
+        k = self.num_ctrl_qubits
+        circuit = _circuit(self.num_qubits)
+        controls = list(range(k))
+        ancillas = list(range(k, k + self.num_ancillas))
+        target = self.num_qubits - 1
+        if k == 1:
+            circuit.append(CXGate(), (controls[0], target))
+            return circuit
+        if k == 2:
+            circuit.append(CCXGate(), (controls[0], controls[1], target))
+            return circuit
+        # compute chain
+        compute = [(controls[0], controls[1], ancillas[0])]
+        for i in range(2, k - 1):
+            compute.append((controls[i], ancillas[i - 2], ancillas[i - 1]))
+        for triple in compute:
+            circuit.append(CCXGate(), triple)
+        circuit.append(CCXGate(), (controls[k - 1], ancillas[-1], target))
+        for triple in reversed(compute):
+            circuit.append(CCXGate(), triple)
+        return circuit

@@ -1,0 +1,150 @@
+"""Parametric one-qubit gates: rotations and the IBM ``u1/u2/u3`` basis.
+
+``u1``, ``u2`` and ``u3`` are primitives (they are what the fake backends
+declare as basis gates); the rotation gates define themselves in terms of
+them with exact global-phase tracking.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.circuit.instruction import Gate
+
+__all__ = ["RXGate", "RYGate", "RZGate", "U1Gate", "U2Gate", "U3Gate"]
+
+
+class U3Gate(Gate):
+    """Generic one-qubit rotation ``u3(theta, phi, lam)``."""
+
+    def __init__(self, theta: float, phi: float, lam: float):
+        super().__init__("u3", 1, params=[float(theta), float(phi), float(lam)])
+
+    def to_matrix(self):
+        theta, phi, lam = self.params
+        cos = math.cos(theta / 2)
+        sin = math.sin(theta / 2)
+        return np.array(
+            [
+                [cos, -cmath.exp(1j * lam) * sin],
+                [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+            ],
+            dtype=complex,
+        )
+
+    def inverse(self):
+        theta, phi, lam = self.params
+        return U3Gate(-theta, -lam, -phi)
+
+
+class U2Gate(Gate):
+    """``u2(phi, lam) = u3(pi/2, phi, lam)``."""
+
+    def __init__(self, phi: float, lam: float):
+        super().__init__("u2", 1, params=[float(phi), float(lam)])
+
+    def to_matrix(self):
+        phi, lam = self.params
+        return U3Gate(math.pi / 2, phi, lam).to_matrix()
+
+    def inverse(self):
+        phi, lam = self.params
+        return U3Gate(-math.pi / 2, -lam, -phi)
+
+    def _define(self):
+        from repro.circuit.quantumcircuit import QuantumCircuit
+
+        phi, lam = self.params
+        circuit = QuantumCircuit(1)
+        circuit.append(U3Gate(math.pi / 2, phi, lam), (0,))
+        return circuit
+
+
+class U1Gate(Gate):
+    """Diagonal phase gate ``u1(lam) = diag(1, e^{i lam})``."""
+
+    def __init__(self, lam: float):
+        super().__init__("u1", 1, params=[float(lam)])
+
+    def to_matrix(self):
+        (lam,) = self.params
+        return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+    def inverse(self):
+        return U1Gate(-self.params[0])
+
+
+class RXGate(Gate):
+    """Rotation about X: ``Rx(theta) = exp(-i theta X / 2)``."""
+
+    def __init__(self, theta: float):
+        super().__init__("rx", 1, params=[float(theta)])
+
+    def to_matrix(self):
+        (theta,) = self.params
+        cos = math.cos(theta / 2)
+        sin = math.sin(theta / 2)
+        return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+
+    def inverse(self):
+        return RXGate(-self.params[0])
+
+    def _define(self):
+        from repro.circuit.quantumcircuit import QuantumCircuit
+
+        (theta,) = self.params
+        circuit = QuantumCircuit(1)
+        circuit.append(U3Gate(theta, -math.pi / 2, math.pi / 2), (0,))
+        return circuit
+
+
+class RYGate(Gate):
+    """Rotation about Y: ``Ry(theta) = exp(-i theta Y / 2)``."""
+
+    def __init__(self, theta: float):
+        super().__init__("ry", 1, params=[float(theta)])
+
+    def to_matrix(self):
+        (theta,) = self.params
+        cos = math.cos(theta / 2)
+        sin = math.sin(theta / 2)
+        return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+
+    def inverse(self):
+        return RYGate(-self.params[0])
+
+    def _define(self):
+        from repro.circuit.quantumcircuit import QuantumCircuit
+
+        (theta,) = self.params
+        circuit = QuantumCircuit(1)
+        circuit.append(U3Gate(theta, 0.0, 0.0), (0,))
+        return circuit
+
+
+class RZGate(Gate):
+    """Rotation about Z: ``Rz(phi) = exp(-i phi Z / 2) = e^{-i phi/2} u1(phi)``."""
+
+    def __init__(self, phi: float):
+        super().__init__("rz", 1, params=[float(phi)])
+
+    def to_matrix(self):
+        (phi,) = self.params
+        return np.array(
+            [[cmath.exp(-1j * phi / 2), 0], [0, cmath.exp(1j * phi / 2)]],
+            dtype=complex,
+        )
+
+    def inverse(self):
+        return RZGate(-self.params[0])
+
+    def _define(self):
+        from repro.circuit.quantumcircuit import QuantumCircuit
+
+        (phi,) = self.params
+        circuit = QuantumCircuit(1, global_phase=-phi / 2)
+        circuit.append(U1Gate(phi), (0,))
+        return circuit

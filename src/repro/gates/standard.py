@@ -1,0 +1,217 @@
+"""Fixed (parameter-free) one-qubit gates.
+
+Each gate carries an exact matrix and a definition in terms of the IBM basis
+gates ``u1``/``u2``/``u3`` so the unroller can lower it (paper Sec. II-A:
+the backends support ``u1, u2, u3, id, cx``).  Definitions track global
+phase exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.instruction import Gate
+
+__all__ = [
+    "IGate",
+    "XGate",
+    "YGate",
+    "ZGate",
+    "HGate",
+    "SGate",
+    "SdgGate",
+    "TGate",
+    "TdgGate",
+    "SXGate",
+]
+
+_SQRT2 = 1 / math.sqrt(2)
+
+
+def _u3_definition(theta, phi, lam, global_phase=0.0):
+    from repro.circuit.quantumcircuit import QuantumCircuit
+    from repro.gates.parametric import U3Gate
+
+    circuit = QuantumCircuit(1, global_phase=global_phase)
+    circuit.append(U3Gate(theta, phi, lam), (0,))
+    return circuit
+
+
+def _u1_definition(lam, global_phase=0.0):
+    from repro.circuit.quantumcircuit import QuantumCircuit
+    from repro.gates.parametric import U1Gate
+
+    circuit = QuantumCircuit(1, global_phase=global_phase)
+    circuit.append(U1Gate(lam), (0,))
+    return circuit
+
+
+class IGate(Gate):
+    """Identity gate."""
+
+    def __init__(self):
+        super().__init__("id", 1)
+
+    def to_matrix(self):
+        return np.eye(2, dtype=complex)
+
+    def inverse(self):
+        return IGate()
+
+
+class XGate(Gate):
+    """Pauli X (NOT) gate."""
+
+    def __init__(self):
+        super().__init__("x", 1)
+
+    def to_matrix(self):
+        return np.array([[0, 1], [1, 0]], dtype=complex)
+
+    def inverse(self):
+        return XGate()
+
+    def _define(self):
+        return _u3_definition(math.pi, 0.0, math.pi)
+
+
+class YGate(Gate):
+    """Pauli Y gate."""
+
+    def __init__(self):
+        super().__init__("y", 1)
+
+    def to_matrix(self):
+        return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+    def inverse(self):
+        return YGate()
+
+    def _define(self):
+        return _u3_definition(math.pi, math.pi / 2, math.pi / 2)
+
+
+class ZGate(Gate):
+    """Pauli Z gate."""
+
+    def __init__(self):
+        super().__init__("z", 1)
+
+    def to_matrix(self):
+        return np.array([[1, 0], [0, -1]], dtype=complex)
+
+    def inverse(self):
+        return ZGate()
+
+    def _define(self):
+        return _u1_definition(math.pi)
+
+
+class HGate(Gate):
+    """Hadamard gate: swaps the Z and X bases (paper Fig. 5 transitions)."""
+
+    def __init__(self):
+        super().__init__("h", 1)
+
+    def to_matrix(self):
+        return np.array([[_SQRT2, _SQRT2], [_SQRT2, -_SQRT2]], dtype=complex)
+
+    def inverse(self):
+        return HGate()
+
+    def _define(self):
+        from repro.circuit.quantumcircuit import QuantumCircuit
+        from repro.gates.parametric import U2Gate
+
+        circuit = QuantumCircuit(1)
+        circuit.append(U2Gate(0.0, math.pi), (0,))
+        return circuit
+
+
+class SGate(Gate):
+    """Phase gate S = sqrt(Z): a quarter turn about Z."""
+
+    def __init__(self):
+        super().__init__("s", 1)
+
+    def to_matrix(self):
+        return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+    def inverse(self):
+        return SdgGate()
+
+    def _define(self):
+        return _u1_definition(math.pi / 2)
+
+
+class SdgGate(Gate):
+    """Inverse phase gate S-dagger."""
+
+    def __init__(self):
+        super().__init__("sdg", 1)
+
+    def to_matrix(self):
+        return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+    def inverse(self):
+        return SGate()
+
+    def _define(self):
+        return _u1_definition(-math.pi / 2)
+
+
+class TGate(Gate):
+    """T gate = fourth root of Z."""
+
+    def __init__(self):
+        super().__init__("t", 1)
+
+    def to_matrix(self):
+        return np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+
+    def inverse(self):
+        return TdgGate()
+
+    def _define(self):
+        return _u1_definition(math.pi / 4)
+
+
+class TdgGate(Gate):
+    """Inverse T gate."""
+
+    def __init__(self):
+        super().__init__("tdg", 1)
+
+    def to_matrix(self):
+        return np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex)
+
+    def inverse(self):
+        return TGate()
+
+    def _define(self):
+        return _u1_definition(-math.pi / 4)
+
+
+class SXGate(Gate):
+    """Square root of X."""
+
+    def __init__(self):
+        super().__init__("sx", 1)
+
+    def to_matrix(self):
+        return 0.5 * np.array(
+            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+        )
+
+    def inverse(self):
+        from repro.gates.unitary import UnitaryGate
+
+        return UnitaryGate(self.to_matrix().conj().T, label="sxdg")
+
+    def _define(self):
+        # SX = exp(i*pi/4) * Rx(pi/2) and Rx(t) = u3(t, -pi/2, pi/2)
+        return _u3_definition(
+            math.pi / 2, -math.pi / 2, math.pi / 2, global_phase=math.pi / 4
+        )

@@ -1,0 +1,305 @@
+"""Two-qubit gates.
+
+Includes the paper's :class:`SwapZGate` (Eq. 3): the two-CNOT circuit that
+swaps correctly whenever its first qubit carries ``|0>``.  ``SwapZGate`` is
+*not* unitarily equal to ``SwapGate`` -- replacing one with the other is
+exactly the kind of relaxed (functional, not unitary) rewrite RPO performs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.instruction import ControlledGate, Gate
+from repro.gates.parametric import RYGate, RZGate, U1Gate, U3Gate
+from repro.gates.standard import HGate, SdgGate, SGate, TdgGate, TGate, XGate, YGate, ZGate
+
+__all__ = [
+    "CXGate",
+    "CYGate",
+    "CZGate",
+    "CHGate",
+    "CPhaseGate",
+    "CRXGate",
+    "CRYGate",
+    "CRZGate",
+    "CU3Gate",
+    "SwapGate",
+    "SwapZGate",
+    "ISwapGate",
+]
+
+
+def _circuit(num_qubits, global_phase=0.0):
+    from repro.circuit.quantumcircuit import QuantumCircuit
+
+    return QuantumCircuit(num_qubits, global_phase=global_phase)
+
+
+class CXGate(ControlledGate):
+    """Controlled-NOT.  Argument order: (control, target)."""
+
+    def __init__(self, ctrl_state: int | None = None):
+        super().__init__("cx", 1, XGate(), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CXGate(ctrl_state=self.ctrl_state)
+
+
+class CYGate(ControlledGate):
+    """Controlled-Y."""
+
+    def __init__(self, ctrl_state: int | None = None):
+        super().__init__("cy", 1, YGate(), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CYGate(ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 1:
+            return super()._define()
+        circuit = _circuit(2)
+        circuit.append(SdgGate(), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(SGate(), (1,))
+        return circuit
+
+
+class CZGate(ControlledGate):
+    """Controlled-Z (symmetric in its two qubits)."""
+
+    def __init__(self, ctrl_state: int | None = None):
+        super().__init__("cz", 1, ZGate(), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CZGate(ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 1:
+            return super()._define()
+        circuit = _circuit(2)
+        circuit.append(HGate(), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(HGate(), (1,))
+        return circuit
+
+
+class CHGate(ControlledGate):
+    """Controlled-Hadamard."""
+
+    def __init__(self, ctrl_state: int | None = None):
+        super().__init__("ch", 1, HGate(), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CHGate(ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 1:
+            return super()._define()
+        circuit = _circuit(2)
+        circuit.append(SGate(), (1,))
+        circuit.append(HGate(), (1,))
+        circuit.append(TGate(), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(TdgGate(), (1,))
+        circuit.append(HGate(), (1,))
+        circuit.append(SdgGate(), (1,))
+        return circuit
+
+
+class CPhaseGate(ControlledGate):
+    """Controlled-phase ``cp(lam) = diag(1, 1, 1, e^{i lam})``."""
+
+    def __init__(self, lam: float, ctrl_state: int | None = None):
+        super().__init__("cp", 1, U1Gate(lam), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CPhaseGate(-self.params[0], ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 1:
+            return super()._define()
+        (lam,) = self.params
+        circuit = _circuit(2)
+        circuit.append(U1Gate(lam / 2), (0,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(U1Gate(-lam / 2), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(U1Gate(lam / 2), (1,))
+        return circuit
+
+
+class CRZGate(ControlledGate):
+    """Controlled Rz rotation."""
+
+    def __init__(self, theta: float, ctrl_state: int | None = None):
+        super().__init__("crz", 1, RZGate(theta), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CRZGate(-self.params[0], ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 1:
+            return super()._define()
+        (theta,) = self.params
+        circuit = _circuit(2)
+        circuit.append(RZGate(theta / 2), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(RZGate(-theta / 2), (1,))
+        circuit.append(CXGate(), (0, 1))
+        return circuit
+
+
+class CRYGate(ControlledGate):
+    """Controlled Ry rotation."""
+
+    def __init__(self, theta: float, ctrl_state: int | None = None):
+        super().__init__("cry", 1, RYGate(theta), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CRYGate(-self.params[0], ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 1:
+            return super()._define()
+        (theta,) = self.params
+        circuit = _circuit(2)
+        circuit.append(RYGate(theta / 2), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(RYGate(-theta / 2), (1,))
+        circuit.append(CXGate(), (0, 1))
+        return circuit
+
+
+class CRXGate(ControlledGate):
+    """Controlled Rx rotation."""
+
+    def __init__(self, theta: float, ctrl_state: int | None = None):
+        from repro.gates.parametric import RXGate
+
+        super().__init__("crx", 1, RXGate(theta), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        return CRXGate(-self.params[0], ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 1:
+            return super()._define()
+        (theta,) = self.params
+        circuit = _circuit(2)
+        circuit.append(HGate(), (1,))
+        circuit.append(RZGate(theta / 2), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(RZGate(-theta / 2), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(HGate(), (1,))
+        return circuit
+
+
+class CU3Gate(ControlledGate):
+    """Controlled generic rotation ``cu3(theta, phi, lam)``."""
+
+    def __init__(self, theta: float, phi: float, lam: float, ctrl_state: int | None = None):
+        super().__init__("cu3", 1, U3Gate(theta, phi, lam), ctrl_state=ctrl_state)
+
+    def inverse(self):
+        theta, phi, lam = self.params
+        return CU3Gate(-theta, -lam, -phi, ctrl_state=self.ctrl_state)
+
+    def _define(self):
+        if self.ctrl_state != 1:
+            return super()._define()
+        theta, phi, lam = self.params
+        circuit = _circuit(2)
+        circuit.append(U1Gate((lam + phi) / 2), (0,))
+        circuit.append(U1Gate((lam - phi) / 2), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(U3Gate(-theta / 2, 0.0, -(phi + lam) / 2), (1,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(U3Gate(theta / 2, phi, 0.0), (1,))
+        return circuit
+
+
+class SwapGate(Gate):
+    """SWAP gate; decomposes into three CNOTs (paper Fig. 2)."""
+
+    def __init__(self):
+        super().__init__("swap", 2)
+
+    def to_matrix(self):
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+        )
+
+    def inverse(self):
+        return SwapGate()
+
+    def _define(self):
+        circuit = _circuit(2)
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(CXGate(), (1, 0))
+        circuit.append(CXGate(), (0, 1))
+        return circuit
+
+
+class SwapZGate(Gate):
+    """SWAPZ (paper Eq. 3): two CNOTs that swap when qubit 0 is ``|0>``.
+
+    Argument order is ``(zero_qubit, other)``: the gate swaps any state on
+    ``other`` with the ``|0>`` expected on ``zero_qubit``.  Its unitary is
+    the SWAP decomposition *without* the initial CNOT controlled by the zero
+    qubit, i.e. ``CX(0,1) @ CX(1,0)`` in matrix order.
+    """
+
+    def __init__(self):
+        super().__init__("swapz", 2)
+
+    def to_matrix(self):
+        # time order: cx(1,0) then cx(0,1)
+        cx_10 = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        cx_01 = np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+        )
+        return cx_01 @ cx_10
+
+    def inverse(self):
+        from repro.gates.unitary import UnitaryGate
+
+        return UnitaryGate(self.to_matrix().conj().T, label="swapz_dg")
+
+    def _define(self):
+        circuit = _circuit(2)
+        circuit.append(CXGate(), (1, 0))
+        circuit.append(CXGate(), (0, 1))
+        return circuit
+
+
+class ISwapGate(Gate):
+    """iSWAP gate."""
+
+    def __init__(self):
+        super().__init__("iswap", 2)
+
+    def to_matrix(self):
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+        )
+
+    def inverse(self):
+        from repro.gates.unitary import UnitaryGate
+
+        return UnitaryGate(self.to_matrix().conj().T, label="iswap_dg")
+
+    def _define(self):
+        circuit = _circuit(2)
+        circuit.append(SGate(), (0,))
+        circuit.append(SGate(), (1,))
+        circuit.append(HGate(), (0,))
+        circuit.append(CXGate(), (0, 1))
+        circuit.append(CXGate(), (1, 0))
+        circuit.append(HGate(), (1,))
+        return circuit

@@ -1,0 +1,62 @@
+"""Arbitrary-matrix gates.
+
+``UnitaryGate`` wraps an explicit unitary matrix.  One- and two-qubit
+unitary gates can be lowered to basis gates (via the Euler and Weyl
+synthesis routines); this is what lets the Quantum Volume benchmark's random
+SU(4) layers flow through the transpiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.instruction import Gate
+from repro.linalg.predicates import is_unitary
+
+__all__ = ["UnitaryGate"]
+
+
+class UnitaryGate(Gate):
+    """A gate defined by an explicit unitary matrix (little-endian)."""
+
+    def __init__(self, matrix: np.ndarray, label: str | None = None):
+        matrix = np.asarray(matrix, dtype=complex)
+        dim = matrix.shape[0]
+        if matrix.shape != (dim, dim) or dim & (dim - 1):
+            raise ValueError(f"matrix shape {matrix.shape} is not a power-of-two square")
+        if not is_unitary(matrix):
+            raise ValueError("matrix is not unitary")
+        num_qubits = int(dim).bit_length() - 1
+        super().__init__("unitary", num_qubits, label=label)
+        self._matrix = matrix
+
+    def to_matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def inverse(self) -> "UnitaryGate":
+        return UnitaryGate(self._matrix.conj().T, label=self.label)
+
+    def __eq__(self, other):
+        if not isinstance(other, UnitaryGate):
+            return NotImplemented
+        return self._matrix.shape == other._matrix.shape and np.allclose(
+            self._matrix, other._matrix, atol=1e-10
+        )
+
+    def __hash__(self):
+        return hash(("unitary", self._matrix.shape))
+
+    def _define(self):
+        from repro.circuit.quantumcircuit import QuantumCircuit
+        from repro.linalg.euler import u3_params_from_unitary
+
+        if self.num_qubits == 1:
+            theta, phi, lam, gamma = u3_params_from_unitary(self._matrix)
+            circuit = QuantumCircuit(1, global_phase=gamma)
+            circuit.u3(theta, phi, lam, 0)
+            return circuit
+        if self.num_qubits == 2:
+            from repro.linalg.two_qubit_synthesis import synthesize_two_qubit_unitary
+
+            return synthesize_two_qubit_unitary(self._matrix)
+        return None

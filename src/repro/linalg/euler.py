@@ -1,0 +1,100 @@
+"""One-qubit Euler-angle (``u3``) decomposition.
+
+Every single-qubit unitary can be written, up to a global phase, as the IBM
+basis gate ``u3(theta, phi, lam)``::
+
+    u3(theta, phi, lam) = [[cos(theta/2),                -exp(i*lam)*sin(theta/2)],
+                           [exp(i*phi)*sin(theta/2), exp(i*(phi+lam))*cos(theta/2)]]
+
+which equals ``exp(i*(phi+lam)/2) * Rz(phi) * Ry(theta) * Rz(lam)``.  The
+pure-state analysis of the RPO pass (paper Sec. VI-B) and the
+``Optimize1qGates`` transpiler pass both rely on the extraction and merging
+routines in this module.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+__all__ = [
+    "u3_matrix",
+    "u3_params_from_unitary",
+    "euler_zyz_angles",
+    "merge_u3",
+]
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Return the 2x2 matrix of ``u3(theta, phi, lam)``."""
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    return np.array(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+def u3_params_from_unitary(matrix: np.ndarray) -> tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary as ``exp(i*gamma) * u3(theta, phi, lam)``.
+
+    Returns ``(theta, phi, lam, gamma)``.  The decomposition is exact (up to
+    floating point); ``u3_matrix(theta, phi, lam) * exp(i*gamma)``
+    reconstructs the input.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+    # abs() clamps tiny negative rounding; min() clamps values just over 1.
+    cos_half = min(abs(matrix[0, 0]), 1.0)
+    sin_half = min(abs(matrix[1, 0]), 1.0)
+    theta = 2 * math.atan2(sin_half, cos_half)
+
+    if cos_half < 1e-12:
+        # Anti-diagonal: u3(pi, phi, lam) = [[0, -e^{i lam}], [e^{i phi}, 0]].
+        gamma = 0.0
+        phi = cmath.phase(matrix[1, 0])
+        lam = cmath.phase(-matrix[0, 1])
+    elif sin_half < 1e-12:
+        # Diagonal: u3(0, phi, lam) = diag(1, e^{i(phi+lam)}).
+        gamma = cmath.phase(matrix[0, 0])
+        phi = cmath.phase(matrix[1, 1]) - gamma
+        lam = 0.0
+    else:
+        gamma = cmath.phase(matrix[0, 0])
+        phi = cmath.phase(matrix[1, 0]) - gamma
+        lam = cmath.phase(-matrix[0, 1]) - gamma
+    return theta, phi, lam, gamma
+
+
+def euler_zyz_angles(matrix: np.ndarray) -> tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary as ``exp(i*alpha) * Rz(phi) Ry(theta) Rz(lam)``.
+
+    Returns ``(theta, phi, lam, alpha)``.
+    """
+    theta, phi, lam, gamma = u3_params_from_unitary(matrix)
+    # u3(t, p, l) = exp(i*(p+l)/2) Rz(p) Ry(t) Rz(l)
+    alpha = gamma + (phi + lam) / 2
+    return theta, phi, lam, alpha
+
+
+def merge_u3(
+    first: tuple[float, float, float], second: tuple[float, float, float]
+) -> tuple[float, float, float, float]:
+    """Fuse two ``u3`` gates applied in sequence (``first`` then ``second``).
+
+    Returns ``(theta, phi, lam, gamma)`` such that::
+
+        u3(*second) @ u3(*first) == exp(i*gamma) * u3(theta, phi, lam)
+
+    This mirrors Qiskit's 1q-gate merging and is what the pure-state tracker
+    uses to propagate ``(theta, phi)`` Bloch tuples through u3 gates
+    (paper Sec. VI-B).
+    """
+    product = u3_matrix(*second) @ u3_matrix(*first)
+    return u3_params_from_unitary(product)

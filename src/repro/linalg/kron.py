@@ -1,0 +1,59 @@
+"""Tensor-product (Kronecker) factorisation of two-qubit operators.
+
+The Weyl decomposition produces 4x4 matrices known to lie in
+``SU(2) (x) SU(2)``; :func:`decompose_kron` recovers the one-qubit factors.
+:func:`nearest_kron_factors` is the underlying rank-one approximation, which
+is also useful on its own for diagnostics.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+__all__ = ["decompose_kron", "nearest_kron_factors"]
+
+
+def nearest_kron_factors(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+    """Return ``(A, B, residual)`` minimising ``||matrix - A (x) B||_F``.
+
+    Uses the Pitsianis--Van Loan rearrangement: reshuffling a 4x4 matrix so
+    that Kronecker products become rank-one matrices, then truncating the SVD.
+    ``residual`` is the second singular value over the first (0 for an exact
+    tensor product).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (4, 4):
+        raise ValueError(f"expected a 4x4 matrix, got shape {matrix.shape}")
+    rearranged = matrix.reshape(2, 2, 2, 2).transpose(0, 2, 1, 3).reshape(4, 4)
+    u, s, vh = np.linalg.svd(rearranged)
+    a = (u[:, 0] * np.sqrt(s[0])).reshape(2, 2)
+    b = (vh[0, :] * np.sqrt(s[0])).reshape(2, 2)
+    residual = float(s[1] / s[0]) if s[0] > 0 else 0.0
+    return a, b, residual
+
+
+def decompose_kron(
+    matrix: np.ndarray, atol: float = 1e-7
+) -> tuple[complex, np.ndarray, np.ndarray]:
+    """Factor ``matrix = phase * A (x) B`` with ``A, B`` in ``SU(2)``.
+
+    Raises :class:`ValueError` when the input is not a tensor product (the
+    rank-one residual exceeds ``atol``).  Returns ``(phase, A, B)`` where
+    ``phase`` is a unit-modulus complex number.
+    """
+    a, b, residual = nearest_kron_factors(matrix)
+    if residual > atol:
+        raise ValueError(f"matrix is not a tensor product (residual {residual:.2e})")
+    det_a = np.linalg.det(a)
+    det_b = np.linalg.det(b)
+    if abs(det_a) < 1e-12 or abs(det_b) < 1e-12:
+        raise ValueError("singular Kronecker factor; input was not unitary")
+    root_a = cmath.sqrt(det_a)
+    root_b = cmath.sqrt(det_b)
+    a_su2 = a / root_a
+    b_su2 = b / root_b
+    phase = root_a * root_b
+    phase /= abs(phase)
+    return phase, a_su2, b_su2

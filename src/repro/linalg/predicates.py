@@ -1,0 +1,92 @@
+"""Matrix predicates used throughout the transpiler and the test-suite.
+
+All comparisons take an absolute tolerance because the synthesis routines
+accumulate floating-point error of order ``1e-12`` over a handful of matrix
+products; the default tolerance of ``1e-8`` leaves three orders of magnitude
+of headroom while still catching genuine mismatches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_ATOL = 1e-8
+
+
+def is_unitary(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when ``matrix`` is (numerically) unitary."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when ``matrix`` equals its conjugate transpose."""
+    matrix = np.asarray(matrix, dtype=complex)
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def phase_difference(a: np.ndarray, b: np.ndarray) -> complex | None:
+    """Return the global phase ``z`` (``|z| = 1``) with ``a ~ z * b``.
+
+    Returns ``None`` if no single phase relates the two matrices.  The phase
+    is estimated from the largest-magnitude entry of ``b`` to minimise the
+    effect of rounding on near-zero entries.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return None
+    flat_index = int(np.argmax(np.abs(b)))
+    pivot = b.flat[flat_index]
+    if abs(pivot) < 1e-12:
+        return None
+    z = a.flat[flat_index] / pivot
+    magnitude = abs(z)
+    if abs(magnitude - 1.0) > 1e-6:
+        return None
+    z /= magnitude
+    if not np.allclose(a, z * b, atol=1e-7):
+        return None
+    return complex(z)
+
+
+def matrices_equal_up_to_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = DEFAULT_ATOL
+) -> bool:
+    """Return ``True`` when ``a = exp(i*phi) * b`` for some real ``phi``."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    flat_index = int(np.argmax(np.abs(b)))
+    pivot = b.flat[flat_index]
+    if abs(pivot) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    z = a.flat[flat_index] / pivot
+    if abs(abs(z) - 1.0) > atol * 10:
+        return False
+    return bool(np.allclose(a, z * b, atol=atol))
+
+
+def is_identity_up_to_phase(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when ``matrix`` is a scalar multiple of the identity."""
+    matrix = np.asarray(matrix, dtype=complex)
+    return matrices_equal_up_to_phase(matrix, np.eye(matrix.shape[0]), atol=atol)
+
+
+def statevectors_equal_up_to_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = DEFAULT_ATOL
+) -> bool:
+    """Return ``True`` when two state vectors agree up to a global phase."""
+    a = np.asarray(a, dtype=complex).ravel()
+    b = np.asarray(b, dtype=complex).ravel()
+    if a.shape != b.shape:
+        return False
+    overlap = np.vdot(a, b)
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm < atol:
+        return True
+    return bool(abs(abs(overlap) - norm) < atol * max(1.0, norm))

@@ -1,0 +1,92 @@
+"""Pure-state preparation synthesis.
+
+Two results from the paper's Sec. V-D are implemented here:
+
+* any single-qubit pure state is ``u3(theta, phi, 0) |0>`` for a Bloch tuple
+  ``(theta, phi)`` (paper Sec. VI-B) -- :func:`prepare_one_qubit_state`;
+* any two-qubit pure state can be prepared from ``|00>`` with *one* CNOT and
+  four one-qubit gates (paper Fig. 4, citing Mottonen & Vartiainen) --
+  :func:`two_qubit_state_prep_factors` provides the Schmidt-based factors.
+
+The circuit-emitting wrapper lives in
+:mod:`repro.linalg.two_qubit_synthesis`.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+__all__ = [
+    "prepare_one_qubit_state",
+    "schmidt_decomposition",
+    "two_qubit_state_prep_factors",
+]
+
+
+def prepare_one_qubit_state(statevector: np.ndarray) -> tuple[float, float]:
+    """Return ``(theta, phi)`` with ``u3(theta, phi, 0)|0> ~ statevector``.
+
+    The returned tuple is the Bloch representation used by the pure-state
+    tracker: ``|psi(theta, phi)> = cos(theta/2)|0> + e^{i phi} sin(theta/2)|1>``.
+    Equality holds up to a global phase.
+    """
+    statevector = np.asarray(statevector, dtype=complex).ravel()
+    if statevector.shape != (2,):
+        raise ValueError("expected a single-qubit statevector of length 2")
+    norm = np.linalg.norm(statevector)
+    if norm < 1e-12:
+        raise ValueError("zero vector is not a valid quantum state")
+    alpha, beta = statevector / norm
+    theta = 2 * math.atan2(abs(beta), abs(alpha))
+    if abs(beta) < 1e-12 or abs(alpha) < 1e-12:
+        phi = 0.0
+    else:
+        phi = cmath.phase(beta) - cmath.phase(alpha)
+    return theta, phi
+
+
+def schmidt_decomposition(
+    statevector: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Schmidt decomposition of a two-qubit state.
+
+    Returns ``(coefficients, left_basis, right_basis)`` such that::
+
+        |psi> = sum_k coefficients[k] |left_basis[:, k]> (x) |right_basis[:, k]>
+
+    with the *left* factor acting on the most significant index of the
+    length-4 vector.  Coefficients are real, non-negative, descending.
+    """
+    statevector = np.asarray(statevector, dtype=complex).ravel()
+    if statevector.shape != (4,):
+        raise ValueError("expected a two-qubit statevector of length 4")
+    amplitude_matrix = statevector.reshape(2, 2)
+    u, s, vh = np.linalg.svd(amplitude_matrix)
+    return s, u, vh.T
+
+
+def two_qubit_state_prep_factors(
+    statevector: np.ndarray,
+) -> tuple[float, np.ndarray, np.ndarray, bool]:
+    """Factors for the 1-CNOT two-qubit state-preparation circuit (Fig. 4).
+
+    Returns ``(ry_angle, left_gate, right_gate, needs_cnot)`` such that, with
+    the left qubit as the most significant index::
+
+        |psi> ~ (left_gate (x) right_gate) @ CX(left->right) @ (Ry(ry_angle) (x) I) |00>
+
+    When the state is a tensor product (``needs_cnot`` is ``False``) the CNOT
+    may be dropped; the identity still holds with it present because the
+    control qubit is then in ``|0>``.
+    """
+    coefficients, left_basis, right_basis = schmidt_decomposition(statevector)
+    # Clamp for safety: SVD can return 1 + 1e-16.
+    cos_term = min(float(coefficients[0]), 1.0)
+    ry_angle = 2 * math.acos(cos_term)
+    needs_cnot = bool(coefficients[1] > 1e-9)
+    # Ry(ry_angle)|0> = cos|0> + sin|1>; CX maps to cos|00> + sin|11>;
+    # the basis change sends |k>|k> to |u_k>|v_k>.
+    return ry_angle, left_basis, right_basis, needs_cnot

@@ -1,0 +1,43 @@
+"""Relaxed Peephole Optimization (RPO) -- the paper's contribution.
+
+Two transpiler passes built on static quantum-state analysis:
+
+* :class:`~repro.rpo.qbo.QBOPass` -- Quantum Basis-state Optimization: a
+  finite-automaton analysis over the six basis states (paper Fig. 5) driving
+  the rewrite rules of Tables I/VI and Eqs. 1-4, 7, 8;
+* :class:`~repro.rpo.qpo.QPOPass` -- Quantum Pure-state Optimization: a
+  ``(theta, phi)`` Bloch-tuple analysis (paper Fig. 6) driving the SWAP
+  rewrites of Eqs. 5-6, the Fredkin rewrite of Eq. 9 and the two-qubit-block
+  state-preparation rewrite of Sec. V-D.
+
+:func:`~repro.rpo.pipeline.rpo_pass_manager` wires them into the level-3
+pipeline at the positions of paper Fig. 8.  The Hoare-logic baseline the
+paper compares against lives in :mod:`repro.rpo.hoare`.
+"""
+
+from repro.rpo.states import BasisState, TOP, basis_state_of_bloch, bloch_of_basis_state
+from repro.rpo.basis_tracker import BasisStateTracker
+from repro.rpo.pure_tracker import PureStateTracker
+from repro.rpo.qbo import QBOPass
+from repro.rpo.qpo import QPOPass
+from repro.rpo.pipeline import (
+    rpo_pass_manager,
+    rpo_extended_pass_manager,
+    hoare_pass_manager,
+)
+from repro.rpo.hoare import HoareOptimizer
+
+__all__ = [
+    "BasisState",
+    "TOP",
+    "basis_state_of_bloch",
+    "bloch_of_basis_state",
+    "BasisStateTracker",
+    "PureStateTracker",
+    "QBOPass",
+    "QPOPass",
+    "HoareOptimizer",
+    "rpo_pass_manager",
+    "rpo_extended_pass_manager",
+    "hoare_pass_manager",
+]

@@ -1,0 +1,60 @@
+"""Same-pair adjacency analysis used by the SWAP rewrite guards.
+
+Rewriting ``SWAP -> SWAPZ`` saves one CNOT *locally*, but a SWAP that sits
+next to another two-qubit gate on the same qubit pair is better left alone:
+the unitary block ``gate . SWAP`` consolidates to at most two CNOTs (the
+SWAP "melts" into its neighbour under KAK re-synthesis), whereas
+``gate . SWAPZ`` is generally SWAP-class (three CNOTs).  The guard makes the
+SWAPZ rewrite a deterministic improvement instead of a sometimes-regression.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = ["same_pair_adjacent_indices"]
+
+_BLOCKABLE_2Q = {"cx", "cz", "cy", "ch", "cp", "crx", "cry", "crz", "cu3",
+                 "swap", "swapz", "iswap", "unitary"}
+
+
+def same_pair_adjacent_indices(circuit: QuantumCircuit) -> set[int]:
+    """Indices of 2q instructions with an adjacent same-pair 2q neighbour.
+
+    Two two-qubit gates are *adjacent on a pair* when they act on the same
+    unordered qubit pair and no other multi-qubit/non-gate operation touches
+    either qubit in between (one-qubit gates do not break adjacency -- block
+    collection absorbs them).
+    """
+    # per qubit: ordered list of (index, kind) where kind is a pair key for
+    # blockable 2q gates or None for any other fencing operation
+    per_qubit: dict[int, list[tuple[int, frozenset | None]]] = {}
+    for index, instruction in enumerate(circuit.data):
+        operation = instruction.operation
+        qubits = instruction.qubits
+        if operation.is_gate() and len(qubits) == 1 and not operation.is_directive:
+            continue  # 1q gates are transparent
+        if (
+            operation.is_gate()
+            and len(qubits) == 2
+            and operation.name in _BLOCKABLE_2Q
+            and not instruction.clbits
+        ):
+            key = frozenset(qubits)
+        else:
+            key = None
+        for qubit in qubits:
+            per_qubit.setdefault(qubit, []).append((index, key))
+
+    adjacent: set[int] = set()
+    for events in per_qubit.values():
+        for position in range(len(events) - 1):
+            index_a, key_a = events[position]
+            index_b, key_b = events[position + 1]
+            if key_a is not None and key_a == key_b:
+                # same-pair neighbours on at least one wire: downstream
+                # consolidation/commutation handles these at least as well
+                # as the SWAPZ rewrite would (conservative single-wire test)
+                adjacent.add(index_a)
+                adjacent.add(index_b)
+    return adjacent

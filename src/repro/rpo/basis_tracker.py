@@ -1,0 +1,73 @@
+"""The basis-state dataflow analysis (paper Sec. VI-A).
+
+Tracks, for every qubit, which of the six basis states it is provably in
+(or ``TOP``).  Soundness invariant: a qubit whose tracked state is not
+``TOP`` is unentangled and exactly in that pure state (up to the circuit's
+tracked global phase) -- which is what licenses the relaxed rewrites.
+
+The tracker is *passive*: the QBO pass drives it, informing it of the gates
+it finally emits.  Any gate the pass does not understand sends the touched
+qubits to ``TOP`` (always sound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rpo.states import (
+    TOP,
+    BasisState,
+    basis_state_of_bloch_tuple,
+    transition,
+)
+
+__all__ = ["BasisStateTracker"]
+
+
+class BasisStateTracker:
+    """Per-qubit basis-state automaton (Fig. 5)."""
+
+    def __init__(self, num_qubits: int):
+        # quantum registers power up in the ground state (Sec. VI-A)
+        self.states: list[BasisState] = [BasisState.ZERO] * num_qubits
+
+    def state(self, qubit: int) -> BasisState:
+        return self.states[qubit]
+
+    def set_state(self, qubit: int, state: BasisState) -> None:
+        self.states[qubit] = state
+
+    def invalidate(self, qubits) -> None:
+        for qubit in qubits:
+            self.states[qubit] = TOP
+
+    # ------------------------------------------------------------------
+    # transitions (the automaton edges of Fig. 5)
+    # ------------------------------------------------------------------
+
+    def apply_1q_gate(self, qubit: int, matrix: np.ndarray) -> None:
+        self.states[qubit] = transition(self.states[qubit], matrix)
+
+    def apply_reset(self, qubit: int) -> None:
+        self.states[qubit] = BasisState.ZERO
+
+    def apply_measure(self, qubit: int) -> None:
+        # A Z-basis measurement leaves a Z-basis state intact; anything else
+        # collapses to an unknown classical state.
+        if not self.states[qubit].is_z_basis:
+            self.states[qubit] = TOP
+
+    def apply_annotation(self, qubit: int, theta: float, phi: float) -> None:
+        """``ANNOT(theta, phi)`` re-enters the automaton if the promised
+        pure state is one of the six basis states (Fig. 5 ANNOT edge)."""
+        self.states[qubit] = basis_state_of_bloch_tuple(theta, phi)
+
+    def apply_swap(self, a: int, b: int) -> None:
+        """SWAP and validated SWAPZ exchange the tracked states (including
+        TOP), per Sec. VI-A."""
+        self.states[a], self.states[b] = self.states[b], self.states[a]
+
+    def copy(self) -> "BasisStateTracker":
+        clone = BasisStateTracker(len(self.states))
+        clone.states = list(self.states)
+        return clone

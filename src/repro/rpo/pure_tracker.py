@@ -1,0 +1,103 @@
+"""The pure-state dataflow analysis (paper Sec. VI-B, Fig. 6).
+
+Each qubit carries a Bloch tuple ``(theta, phi)`` describing its pure state
+``|psi(theta, phi)> = cos(theta/2)|0> + e^{i phi} sin(theta/2)|1>``, or
+``None`` for the unknown top state.  One-qubit gates update the tuple by
+gate merging, exactly as the paper describes: applying ``u3(t, p, l)`` to
+``u3(theta0, phi0, 0)|0>`` yields ``u3(theta1, phi1, 0)|0>`` with the
+trailing ``lambda`` parameter discarded (it acts trivially on ``|0>``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.linalg.euler import u3_matrix, u3_params_from_unitary
+from repro.rpo.states import BasisState, basis_state_of_bloch_tuple
+
+__all__ = ["PureStateTracker"]
+
+PureState = tuple[float, float]
+
+
+class PureStateTracker:
+    """Per-qubit ``(theta, phi)`` pure-state automaton (Fig. 6)."""
+
+    def __init__(self, num_qubits: int):
+        self.states: list[PureState | None] = [(0.0, 0.0)] * num_qubits
+
+    def state(self, qubit: int) -> PureState | None:
+        return self.states[qubit]
+
+    def is_known(self, qubit: int) -> bool:
+        return self.states[qubit] is not None
+
+    def set_state(self, qubit: int, state: PureState | None) -> None:
+        self.states[qubit] = state
+
+    def invalidate(self, qubits) -> None:
+        for qubit in qubits:
+            self.states[qubit] = None
+
+    # ------------------------------------------------------------------
+
+    def statevector(self, qubit: int) -> np.ndarray:
+        """The tracked state as a 2-vector (raises on TOP)."""
+        state = self.states[qubit]
+        if state is None:
+            raise ValueError(f"qubit {qubit} is not in a tracked pure state")
+        theta, phi = state
+        return np.array(
+            [math.cos(theta / 2), np.exp(1j * phi) * math.sin(theta / 2)],
+            dtype=complex,
+        )
+
+    def preparation_matrix(self, qubit: int) -> np.ndarray:
+        """``U = u3(theta, phi, 0)`` with ``U|0> = |psi>`` (paper Sec. IV)."""
+        state = self.states[qubit]
+        if state is None:
+            raise ValueError(f"qubit {qubit} is not in a tracked pure state")
+        return u3_matrix(state[0], state[1], 0.0)
+
+    def basis_classification(self, qubit: int) -> BasisState:
+        """Classify the tracked tuple as one of the six basis states."""
+        state = self.states[qubit]
+        if state is None:
+            return BasisState.TOP
+        return basis_state_of_bloch_tuple(*state)
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+
+    def apply_1q_gate(self, qubit: int, matrix: np.ndarray) -> None:
+        state = self.states[qubit]
+        if state is None:
+            return
+        prepared = matrix @ u3_matrix(state[0], state[1], 0.0)
+        theta, phi, _lam, _gamma = u3_params_from_unitary(prepared)
+        self.states[qubit] = (theta, phi)
+
+    def apply_reset(self, qubit: int) -> None:
+        self.states[qubit] = (0.0, 0.0)
+
+    def apply_measure(self, qubit: int) -> None:
+        state = self.states[qubit]
+        if state is not None and (
+            abs(state[0]) < 1e-9 or abs(state[0] - math.pi) < 1e-9
+        ):
+            return  # Z-basis states survive measurement
+        self.states[qubit] = None
+
+    def apply_annotation(self, qubit: int, theta: float, phi: float) -> None:
+        self.states[qubit] = (float(theta), float(phi))
+
+    def apply_swap(self, a: int, b: int) -> None:
+        self.states[a], self.states[b] = self.states[b], self.states[a]
+
+    def copy(self) -> "PureStateTracker":
+        clone = PureStateTracker(len(self.states))
+        clone.states = list(self.states)
+        return clone

@@ -1,0 +1,28 @@
+"""Circuit simulators.
+
+* :mod:`repro.simulators.statevector` -- exact statevector evolution with
+  mid-circuit measurement/reset support;
+* :mod:`repro.simulators.unitary` -- full-circuit unitary extraction;
+* :mod:`repro.simulators.noise` -- device noise models (depolarizing gate
+  errors + readout errors) built from backend calibration data;
+* :mod:`repro.simulators.noisy` -- Monte-Carlo (trajectory) noisy execution
+  used for the paper's real-machine experiment (Fig. 11).
+"""
+
+from repro.simulators.statevector import StatevectorSimulator, simulate_statevector
+from repro.simulators.unitary import circuit_unitary
+from repro.simulators.noise import NoiseModel
+from repro.simulators.noisy import NoisySimulator
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.counts import Counts, success_rate
+
+__all__ = [
+    "StatevectorSimulator",
+    "simulate_statevector",
+    "circuit_unitary",
+    "NoiseModel",
+    "NoisySimulator",
+    "DensityMatrixSimulator",
+    "Counts",
+    "success_rate",
+]

@@ -1,0 +1,47 @@
+"""Measurement outcome containers.
+
+Keys are bitstrings with classical bit 0 as the *rightmost* character
+(the usual display convention).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counts", "success_rate"]
+
+
+class Counts(dict):
+    """A ``{bitstring: count}`` dictionary with convenience accessors."""
+
+    def __init__(self, data: dict[str, int] | None = None, num_clbits: int | None = None):
+        super().__init__(data or {})
+        self.num_clbits = num_clbits
+
+    @property
+    def shots(self) -> int:
+        return sum(self.values())
+
+    def probabilities(self) -> dict[str, float]:
+        total = self.shots
+        if total == 0:
+            return {}
+        return {key: value / total for key, value in sorted(self.items())}
+
+    def most_frequent(self) -> str:
+        if not self:
+            raise ValueError("no counts recorded")
+        return max(self.items(), key=lambda item: item[1])[0]
+
+    def int_outcomes(self) -> dict[int, int]:
+        return {int(key, 2): value for key, value in self.items()}
+
+
+def success_rate(counts: Counts, correct: str) -> float:
+    """Fraction of shots that produced the ``correct`` bitstring.
+
+    This is the paper's success-rate metric (Sec. VIII-E / artifact
+    appendix): correct outcomes over total trials.
+    """
+    total = counts.shots
+    if total == 0:
+        return 0.0
+    return counts.get(correct, 0) / total

@@ -1,0 +1,183 @@
+"""Exact statevector simulation.
+
+States are little-endian: bit ``k`` of a basis index is circuit qubit ``k``.
+The simulator supports every gate in the library (through ``to_matrix``),
+plus measurement (with collapse), reset, and directives (skipped).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.linalg.random import as_rng
+
+__all__ = ["StatevectorSimulator", "simulate_statevector", "apply_gate_to_state"]
+
+
+def apply_gate_to_state(
+    state: np.ndarray, matrix: np.ndarray, qargs: tuple[int, ...], num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit gate matrix to ``state`` on the given qubits.
+
+    Implementation: permute the target qubits into the low bits, reshape to
+    ``(2^(n-k), 2^k)``, right-multiply by the transposed matrix, and undo
+    the permutation.
+    """
+    k = len(qargs)
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError("gate matrix does not match the number of qubits")
+    tensor = state.reshape([2] * num_qubits)
+    # tensor axis i corresponds to qubit (num_qubits - 1 - i)
+    axis_of = lambda q: num_qubits - 1 - q  # noqa: E731 - tiny local helper
+    target_axes = [axis_of(q) for q in qargs]
+    rest_axes = [ax for ax in range(num_qubits) if ax not in target_axes]
+    # order targets so that the *last* axis is qargs[0] (bit 0 of the gate)
+    ordered_targets = [axis_of(q) for q in reversed(qargs)]
+    permuted = np.transpose(tensor, rest_axes + ordered_targets)
+    flattened = permuted.reshape(-1, 2**k)
+    updated = flattened @ matrix.T
+    updated = updated.reshape([2] * num_qubits)
+    # invert the permutation
+    inverse = np.argsort(rest_axes + ordered_targets)
+    return np.transpose(updated, inverse).reshape(-1)
+
+
+class StatevectorSimulator:
+    """Runs circuits on exact statevectors.
+
+    Measurements collapse the state and write classical bits; use
+    :meth:`run` for a single trajectory or :meth:`statevector` for the
+    final state of a measurement-free circuit.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = None):
+        self._rng = as_rng(seed)
+
+    def statevector(
+        self, circuit: QuantumCircuit, initial_state: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Final statevector (measurement-free circuits only)."""
+        state, _ = self._evolve(circuit, initial_state, allow_measure=False)
+        return state
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        initial_state: np.ndarray | None = None,
+    ) -> dict[str, int]:
+        """Sample measurement outcomes over ``shots`` trajectories.
+
+        For circuits whose measurements are all terminal the sampling is done
+        from the final distribution in one pass; otherwise each shot runs a
+        full collapsing trajectory.
+        """
+        from repro.simulators.counts import Counts
+
+        if self._measurements_are_terminal(circuit):
+            state, measured = self._evolve(
+                circuit, initial_state, allow_measure=False, skip_measurements=True
+            )
+            if not measured:
+                raise ValueError("circuit contains no measurements to sample")
+            probabilities = np.abs(state) ** 2
+            probabilities /= probabilities.sum()
+            outcomes = self._rng.choice(len(state), size=shots, p=probabilities)
+            counts: dict[str, int] = {}
+            for outcome in outcomes:
+                bits = 0
+                for qubit, clbit in measured:
+                    if (int(outcome) >> qubit) & 1:
+                        bits |= 1 << clbit
+                key = format(bits, f"0{circuit.num_clbits}b")
+                counts[key] = counts.get(key, 0) + 1
+            return Counts(counts, num_clbits=circuit.num_clbits)
+
+        counts = {}
+        for _ in range(shots):
+            _, clbits = self._evolve(circuit, initial_state, allow_measure=True)
+            key = format(clbits, f"0{circuit.num_clbits}b")
+            counts[key] = counts.get(key, 0) + 1
+        return Counts(counts, num_clbits=circuit.num_clbits)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _measurements_are_terminal(circuit: QuantumCircuit) -> bool:
+        seen_measure = set()
+        for instruction in circuit.data:
+            name = instruction.operation.name
+            if name == "measure":
+                seen_measure.update(instruction.qubits)
+            elif name != "barrier" and seen_measure.intersection(instruction.qubits):
+                return False
+        return True
+
+    def _evolve(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: np.ndarray | None,
+        allow_measure: bool,
+        skip_measurements: bool = False,
+    ):
+        num_qubits = circuit.num_qubits
+        if initial_state is None:
+            state = np.zeros(2**num_qubits, dtype=complex)
+            state[0] = 1.0
+        else:
+            state = np.asarray(initial_state, dtype=complex).copy()
+            if state.shape != (2**num_qubits,):
+                raise ValueError("initial state has wrong dimension")
+        state *= np.exp(1j * circuit.global_phase)
+
+        clbits = 0
+        measured: list[tuple[int, int]] = []
+        for instruction in circuit.data:
+            operation = instruction.operation
+            name = operation.name
+            if operation.is_directive:
+                continue
+            if name == "measure":
+                if skip_measurements:
+                    measured.append((instruction.qubits[0], instruction.clbits[0]))
+                    continue
+                if not allow_measure:
+                    raise ValueError("circuit contains mid-circuit measurement")
+                outcome, state = self._measure(state, instruction.qubits[0], num_qubits)
+                clbit = instruction.clbits[0]
+                clbits = (clbits & ~(1 << clbit)) | (outcome << clbit)
+                continue
+            if name == "reset":
+                outcome, state = self._measure(state, instruction.qubits[0], num_qubits)
+                if outcome:
+                    x_matrix = np.array([[0, 1], [1, 0]], dtype=complex)
+                    state = apply_gate_to_state(
+                        state, x_matrix, instruction.qubits, num_qubits
+                    )
+                continue
+            if not operation.is_gate():
+                raise ValueError(f"cannot simulate instruction {name!r}")
+            state = apply_gate_to_state(
+                state, operation.to_matrix(), instruction.qubits, num_qubits
+            )
+        return state, (measured if skip_measurements else clbits)
+
+    def _measure(self, state: np.ndarray, qubit: int, num_qubits: int):
+        indices = np.arange(len(state))
+        mask = (indices >> qubit) & 1
+        prob_one = float(np.sum(np.abs(state[mask == 1]) ** 2))
+        outcome = int(self._rng.random() < prob_one)
+        keep = mask == outcome
+        collapsed = np.where(keep, state, 0.0)
+        norm = np.linalg.norm(collapsed)
+        if norm < 1e-12:
+            raise RuntimeError("measurement collapsed to zero-norm state")
+        return outcome, collapsed / norm
+
+
+def simulate_statevector(
+    circuit: QuantumCircuit, initial_state: np.ndarray | None = None
+) -> np.ndarray:
+    """Convenience wrapper: final statevector of a measurement-free circuit."""
+    return StatevectorSimulator().statevector(circuit, initial_state)

@@ -1,0 +1,52 @@
+"""The transpiler: pass-manager framework, standard passes, preset levels.
+
+The preset pipelines mirror Qiskit 0.18's optimization levels 0-3 (the
+baselines the paper compares against, Sec. II-B and Fig. 8):
+
+* level 0 -- map to the device, no optimization;
+* level 1 -- light optimization (adjacent-gate collapsing);
+* level 2 -- noise-aware layout + commutative cancellation;
+* level 3 -- level 2 plus two-qubit block re-synthesis (``Collect2qBlocks``
+  + ``ConsolidateBlocks``) in a fixed-point loop.
+
+The RPO pipeline (paper Fig. 8, underlined additions) lives in
+:mod:`repro.rpo` and reuses this infrastructure.
+"""
+
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.exceptions import TranspilerError
+from repro.transpiler.passmanager import (
+    AnalysisPass,
+    BasePass,
+    DoWhileController,
+    PassManager,
+    PropertySet,
+    TransformationPass,
+)
+from repro.transpiler.preset import (
+    level_0_pass_manager,
+    level_1_pass_manager,
+    level_2_pass_manager,
+    level_3_pass_manager,
+    preset_pass_manager,
+    transpile,
+)
+
+__all__ = [
+    "CouplingMap",
+    "Layout",
+    "TranspilerError",
+    "BasePass",
+    "AnalysisPass",
+    "TransformationPass",
+    "PassManager",
+    "PropertySet",
+    "DoWhileController",
+    "level_0_pass_manager",
+    "level_1_pass_manager",
+    "level_2_pass_manager",
+    "level_3_pass_manager",
+    "preset_pass_manager",
+    "transpile",
+]

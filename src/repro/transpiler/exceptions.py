@@ -1,0 +1,5 @@
+"""Transpiler error types."""
+
+
+class TranspilerError(Exception):
+    """Raised when a transpiler pass cannot complete."""

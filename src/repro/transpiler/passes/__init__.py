@@ -1,0 +1,41 @@
+"""Standard transpiler passes."""
+
+from repro.transpiler.passes.unroller import Unroller, IBM_BASIS
+from repro.transpiler.passes.optimize_1q import Optimize1qGates
+from repro.transpiler.passes.cancellation import CXCancellation, CommutativeCancellation
+from repro.transpiler.passes.consolidate import ConsolidateBlocks
+from repro.transpiler.passes.layout_passes import (
+    ApplyLayout,
+    DenseLayout,
+    SetLayout,
+    TrivialLayout,
+)
+from repro.transpiler.passes.routing import StochasticSwap
+from repro.transpiler.passes.analysis import CheckMap, CountOps, Depth, FixedPoint, Size
+from repro.transpiler.passes.cleanup import (
+    RemoveAnnotations,
+    RemoveBarriers,
+    RemoveDiagonalGatesBeforeMeasure,
+)
+
+__all__ = [
+    "Unroller",
+    "IBM_BASIS",
+    "Optimize1qGates",
+    "CXCancellation",
+    "CommutativeCancellation",
+    "ConsolidateBlocks",
+    "ApplyLayout",
+    "DenseLayout",
+    "SetLayout",
+    "TrivialLayout",
+    "StochasticSwap",
+    "CheckMap",
+    "CountOps",
+    "Depth",
+    "FixedPoint",
+    "Size",
+    "RemoveAnnotations",
+    "RemoveBarriers",
+    "RemoveDiagonalGatesBeforeMeasure",
+]

@@ -1,0 +1,161 @@
+"""Two-qubit block collection and re-synthesis.
+
+``ConsolidateBlocks`` is the unitary-preserving peephole optimization of
+Qiskit's level 3 (paper Sec. II-B): it collects maximal runs of gates acting
+on the same qubit pair (``Collect2qBlocks``), computes each block's 4x4
+unitary, and replaces the block with a minimal-CNOT re-synthesis when that
+reduces the two-qubit gate count.
+
+This is the pass the paper contrasts RPO against: it must preserve the
+block's *unitary*, so it can never exploit known input states the way
+QBO/QPO do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import CircuitInstruction, QuantumCircuit
+from repro.linalg.two_qubit_synthesis import synthesize_two_qubit_unitary
+from repro.transpiler.passmanager import PropertySet, TransformationPass
+
+__all__ = ["ConsolidateBlocks"]
+
+_BLOCK_MIN_2Q = 2  # only consolidate blocks with at least this many 2q gates
+
+
+#: CX-equivalent cost of two-qubit gates when they are later unrolled to
+#: the CNOT basis (swap = 3, swapz = 2, generic unitary synthesis <= 3).
+_CX_COST = {"cx": 1, "cz": 1, "cy": 1, "ch": 2, "cp": 2, "crx": 2, "cry": 2,
+            "crz": 2, "cu3": 2, "swap": 3, "swapz": 2, "iswap": 2}
+
+
+class _Block:
+    """A growing run of gates confined to one qubit pair."""
+
+    def __init__(self, pair: tuple[int, int]):
+        self.pair = pair  # ordered (low, high)
+        self.instructions: list[CircuitInstruction] = []
+        self.num_2q = 0
+        self.cx_cost = 0
+
+    def add(self, instruction: CircuitInstruction) -> None:
+        self.instructions.append(instruction)
+        if len(instruction.qubits) == 2:
+            self.num_2q += 1
+            self.cx_cost += _CX_COST.get(instruction.operation.name, 3)
+
+    def matrix(self) -> np.ndarray:
+        """4x4 unitary with local wire 0 = pair[0], wire 1 = pair[1]."""
+        from repro.circuit.matrix_utils import embed_gate
+
+        wire_of = {self.pair[0]: 0, self.pair[1]: 1}
+        matrix = np.eye(4, dtype=complex)
+        for instruction in self.instructions:
+            local = tuple(wire_of[q] for q in instruction.qubits)
+            matrix = embed_gate(instruction.operation.to_matrix(), local, 2) @ matrix
+        return matrix
+
+
+class ConsolidateBlocks(TransformationPass):
+    """Collect and re-synthesise two-qubit blocks (Collect2qBlocks +
+    ConsolidateBlocks rolled into one linear scan)."""
+
+    def __init__(self, force: bool = False):
+        # ``force`` re-synthesises even when the CNOT count does not drop
+        # (useful in tests); the preset pipelines keep the default.
+        self.force = force
+
+    def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        output = circuit.copy_empty_like()
+        pending_1q: dict[int, list[CircuitInstruction]] = {}
+        block_of: dict[int, _Block] = {}
+
+        def flush_pending(qubit: int) -> None:
+            for instruction in pending_1q.pop(qubit, []):
+                output.append(instruction.operation, instruction.qubits, instruction.clbits)
+
+        def flush_block(block: _Block) -> None:
+            for qubit in block.pair:
+                block_of.pop(qubit, None)
+            self._emit_block(block, output)
+
+        def flush_qubit(qubit: int) -> None:
+            block = block_of.get(qubit)
+            if block is not None:
+                flush_block(block)
+            flush_pending(qubit)
+
+        for instruction in circuit.data:
+            operation = instruction.operation
+            qubits = instruction.qubits
+            is_simple_gate = (
+                operation.is_gate()
+                and not operation.is_directive
+                and not instruction.clbits
+            )
+            if is_simple_gate and len(qubits) == 1:
+                qubit = qubits[0]
+                block = block_of.get(qubit)
+                if block is not None:
+                    block.add(instruction)
+                else:
+                    pending_1q.setdefault(qubit, []).append(instruction)
+                continue
+            if is_simple_gate and len(qubits) == 2:
+                a, b = qubits
+                pair = (min(a, b), max(a, b))
+                block = block_of.get(a)
+                if block is not None and block is block_of.get(b) and block.pair == pair:
+                    block.add(instruction)
+                    continue
+                flush_qubit(a)
+                flush_qubit(b)
+                block = _Block(pair)
+                for qubit in pair:
+                    for held in pending_1q.pop(qubit, []):
+                        block.add(held)
+                    block_of[qubit] = block
+                block.add(instruction)
+                continue
+            # anything else fences the touched qubits
+            for qubit in qubits:
+                flush_qubit(qubit)
+            output.append(operation, qubits, instruction.clbits)
+
+        remaining = []
+        for block in block_of.values():
+            if block not in remaining:
+                remaining.append(block)
+        for block in remaining:
+            flush_block(block)
+        for qubit in sorted(pending_1q):
+            flush_pending(qubit)
+        return output
+
+    def _emit_block(self, block: _Block, output: QuantumCircuit) -> None:
+        if block.num_2q < _BLOCK_MIN_2Q and not self.force:
+            self._emit_original(block, output)
+            return
+        try:
+            replacement = synthesize_two_qubit_unitary(block.matrix())
+        except Exception:
+            self._emit_original(block, output)
+            return
+        new_2q = replacement.num_nonlocal_gates()
+        better = new_2q < block.cx_cost or (
+            new_2q == block.cx_cost
+            and replacement.size() < len(block.instructions)
+        )
+        if not (better or self.force):
+            self._emit_original(block, output)
+            return
+        output.global_phase += replacement.global_phase
+        for inner in replacement.data:
+            mapped = tuple(block.pair[q] for q in inner.qubits)
+            output.append(inner.operation, mapped)
+
+    @staticmethod
+    def _emit_original(block: _Block, output: QuantumCircuit) -> None:
+        for instruction in block.instructions:
+            output.append(instruction.operation, instruction.qubits, instruction.clbits)

@@ -1,0 +1,75 @@
+"""Single-qubit gate fusion (``Optimize1qGates``).
+
+Merges maximal runs of one-qubit gates into at most one ``u1``/``u2``/``u3``
+gate, tracking global phase exactly.  The paper's pipeline runs this right
+before QPO (Fig. 8 line 7) so that the pure-state tracker sees fused ``u3``
+gates, and again inside the fixed-point loop.
+
+Annotations act as fences: merging a gate across an ``ANNOT`` would move it
+relative to the point where the programmer's promise holds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.linalg.euler import u3_params_from_unitary
+from repro.transpiler.passmanager import PropertySet, TransformationPass
+from repro.utils.angles import normalize_angle
+
+__all__ = ["Optimize1qGates"]
+
+_EPS = 1e-10
+
+
+class Optimize1qGates(TransformationPass):
+    """Fuse runs of adjacent one-qubit gates into minimal u-gates."""
+
+    def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        output = circuit.copy_empty_like()
+        pending: dict[int, np.ndarray] = {}
+
+        def flush(qubit: int) -> None:
+            matrix = pending.pop(qubit, None)
+            if matrix is None:
+                return
+            self._emit(matrix, qubit, output)
+
+        for instruction in circuit.data:
+            operation = instruction.operation
+            is_mergeable = (
+                operation.is_gate()
+                and operation.num_qubits == 1
+                and not operation.is_directive
+            )
+            if is_mergeable:
+                qubit = instruction.qubits[0]
+                current = pending.get(qubit)
+                matrix = operation.to_matrix()
+                pending[qubit] = matrix if current is None else matrix @ current
+                continue
+            for qubit in instruction.qubits:
+                flush(qubit)
+            output.append(operation, instruction.qubits, instruction.clbits)
+        for qubit in sorted(pending):
+            flush(qubit)
+        return output
+
+    @staticmethod
+    def _emit(matrix: np.ndarray, qubit: int, output: QuantumCircuit) -> None:
+        theta, phi, lam, gamma = u3_params_from_unitary(matrix)
+        output.global_phase += gamma
+        theta_n = normalize_angle(theta)
+        if theta_n < _EPS or abs(theta_n - 2 * math.pi) < _EPS:
+            # diagonal: a pure phase gate (or identity)
+            total = normalize_angle(phi + lam)
+            if total > _EPS:
+                output.u1(total, qubit)
+            return
+        if abs(theta_n - math.pi / 2) < _EPS:
+            output.u2(phi, lam, qubit)
+            return
+        output.u3(theta, phi, lam, qubit)

@@ -1,0 +1,139 @@
+"""Pass-manager framework.
+
+Passes are small objects with a ``run`` method; transformation passes return
+a new circuit, analysis passes only write to the shared
+:class:`PropertySet`.  A :class:`PassManager` executes a schedule of passes
+and flow controllers (``DoWhileController`` implements the fixed-point loop
+of optimization level 3, paper Fig. 8 lines 9-10).
+
+Timing of each pass is recorded in the property set under
+``"pass_times"`` -- the paper's transpile-time comparisons (Tables II-IV)
+come from these timers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = [
+    "PropertySet",
+    "BasePass",
+    "AnalysisPass",
+    "TransformationPass",
+    "DoWhileController",
+    "PassManager",
+]
+
+
+class PropertySet(dict):
+    """Shared key-value store that passes use to communicate."""
+
+
+class BasePass:
+    """Common base class for transpiler passes."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"
+
+
+class AnalysisPass(BasePass):
+    """A pass that computes properties but leaves the circuit unchanged."""
+
+    def analyze(self, circuit: QuantumCircuit, property_set: PropertySet) -> None:
+        raise NotImplementedError
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        self.analyze(circuit, property_set)
+        return circuit
+
+
+class TransformationPass(BasePass):
+    """A pass that rewrites the circuit."""
+
+    def transform(
+        self, circuit: QuantumCircuit, property_set: PropertySet
+    ) -> QuantumCircuit:
+        raise NotImplementedError
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        return self.transform(circuit, property_set)
+
+
+class DoWhileController:
+    """Repeats a pass sequence while ``condition(property_set)`` holds."""
+
+    def __init__(
+        self,
+        passes: Sequence[BasePass],
+        do_while: Callable[[PropertySet], bool],
+        max_iterations: int = 100,
+    ):
+        self.passes = list(passes)
+        self.do_while = do_while
+        self.max_iterations = max_iterations
+
+    @property
+    def name(self) -> str:
+        inner = ",".join(p.name for p in self.passes)
+        return f"DoWhile[{inner}]"
+
+
+class PassManager:
+    """Runs a schedule of passes over a circuit."""
+
+    def __init__(self, passes: Iterable[BasePass | DoWhileController] | None = None):
+        self._schedule: list[BasePass | DoWhileController] = list(passes or [])
+
+    def append(self, item: BasePass | DoWhileController | Sequence[BasePass]) -> None:
+        if isinstance(item, (BasePass, DoWhileController)):
+            self._schedule.append(item)
+        else:
+            self._schedule.extend(item)
+
+    @property
+    def passes(self) -> list[BasePass | DoWhileController]:
+        return list(self._schedule)
+
+    def run(
+        self, circuit: QuantumCircuit, property_set: PropertySet | None = None
+    ) -> QuantumCircuit:
+        """Execute the schedule; returns the transformed circuit.
+
+        The property set (including per-pass timing under ``pass_times``)
+        survives on ``self.property_set`` for inspection.
+        """
+        properties = property_set if property_set is not None else PropertySet()
+        properties.setdefault("pass_times", [])
+        for item in self._schedule:
+            circuit = self._run_item(item, circuit, properties)
+        self.property_set = properties
+        return circuit
+
+    def _run_item(self, item, circuit, properties):
+        if isinstance(item, DoWhileController):
+            for _ in range(item.max_iterations):
+                for inner in item.passes:
+                    circuit = self._run_pass(inner, circuit, properties)
+                if not item.do_while(properties):
+                    break
+            return circuit
+        return self._run_pass(item, circuit, properties)
+
+    def _run_pass(self, pass_, circuit, properties):
+        start = time.perf_counter()
+        result = pass_.run(circuit, properties)
+        elapsed = time.perf_counter() - start
+        properties["pass_times"].append((pass_.name, elapsed))
+        if result is None:
+            raise RuntimeError(f"pass {pass_.name} returned None")
+        return result

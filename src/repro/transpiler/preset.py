@@ -1,0 +1,217 @@
+"""Preset pass managers (optimization levels 0-3) and ``transpile()``.
+
+The four levels mirror Qiskit 0.18 (paper Sec. II-B):
+
+* level 0: map to the device, no optimization;
+* level 1: trivial layout, light gate collapsing;
+* level 2: dense noise-aware layout, commutative cancellation;
+* level 3: level 2 plus two-qubit block re-synthesis in a fixed-point loop
+  (paper Fig. 8 without the underlined RPO additions -- those live in
+  :func:`repro.rpo.rpo_pass_manager`).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.exceptions import TranspilerError
+from repro.transpiler.layout import Layout
+from repro.transpiler.passmanager import DoWhileController, PassManager
+from repro.transpiler.passes import (
+    ApplyLayout,
+    CommutativeCancellation,
+    ConsolidateBlocks,
+    CXCancellation,
+    DenseLayout,
+    FixedPoint,
+    IBM_BASIS,
+    Optimize1qGates,
+    RemoveAnnotations,
+    RemoveDiagonalGatesBeforeMeasure,
+    SetLayout,
+    Size,
+    StochasticSwap,
+    TrivialLayout,
+    Unroller,
+)
+
+__all__ = [
+    "level_0_pass_manager",
+    "level_1_pass_manager",
+    "level_2_pass_manager",
+    "level_3_pass_manager",
+    "preset_pass_manager",
+    "transpile",
+]
+
+
+def _layout_pass(coupling, backend_properties, initial_layout, dense: bool):
+    if initial_layout is not None:
+        return SetLayout(initial_layout)
+    if dense:
+        return DenseLayout(coupling, backend_properties)
+    return TrivialLayout(coupling)
+
+
+def level_0_pass_manager(
+    coupling: CouplingMap,
+    backend_properties=None,
+    seed: int | None = None,
+    basis=IBM_BASIS,
+    initial_layout: Layout | None = None,
+) -> PassManager:
+    """Map to the device with no explicit optimization."""
+    pm = PassManager()
+    pm.append(Unroller(basis))
+    pm.append(_layout_pass(coupling, backend_properties, initial_layout, dense=False))
+    pm.append(ApplyLayout(coupling))
+    pm.append(StochasticSwap(coupling, trials=1, seed=seed))
+    pm.append(Unroller(basis))
+    pm.append(RemoveAnnotations())
+    return pm
+
+
+def level_1_pass_manager(
+    coupling: CouplingMap,
+    backend_properties=None,
+    seed: int | None = None,
+    basis=IBM_BASIS,
+    initial_layout: Layout | None = None,
+) -> PassManager:
+    """Light optimization: collapse adjacent gates."""
+    pm = PassManager()
+    pm.append(Unroller(basis))
+    pm.append(_layout_pass(coupling, backend_properties, initial_layout, dense=False))
+    pm.append(ApplyLayout(coupling))
+    pm.append(StochasticSwap(coupling, trials=3, seed=seed))
+    pm.append(Unroller(basis))
+    pm.append(
+        DoWhileController(
+            [Optimize1qGates(), CXCancellation(), Size(), FixedPoint("size")],
+            do_while=lambda ps: not ps.get("size_fixed_point", False),
+            max_iterations=10,
+        )
+    )
+    pm.append(RemoveDiagonalGatesBeforeMeasure())
+    pm.append(RemoveAnnotations())
+    return pm
+
+
+def level_2_pass_manager(
+    coupling: CouplingMap,
+    backend_properties=None,
+    seed: int | None = None,
+    basis=IBM_BASIS,
+    initial_layout: Layout | None = None,
+) -> PassManager:
+    """Noise-adaptive layout plus commutation-based cancellation."""
+    pm = PassManager()
+    pm.append(Unroller(basis))
+    pm.append(_layout_pass(coupling, backend_properties, initial_layout, dense=True))
+    pm.append(ApplyLayout(coupling))
+    pm.append(StochasticSwap(coupling, trials=5, seed=seed))
+    pm.append(Unroller(basis))
+    pm.append(
+        DoWhileController(
+            [
+                Optimize1qGates(),
+                CommutativeCancellation(),
+                CXCancellation(),
+                Size(),
+                FixedPoint("size"),
+            ],
+            do_while=lambda ps: not ps.get("size_fixed_point", False),
+            max_iterations=10,
+        )
+    )
+    pm.append(RemoveDiagonalGatesBeforeMeasure())
+    pm.append(RemoveAnnotations())
+    return pm
+
+
+def level_3_pass_manager(
+    coupling: CouplingMap,
+    backend_properties=None,
+    seed: int | None = None,
+    basis=IBM_BASIS,
+    initial_layout: Layout | None = None,
+) -> PassManager:
+    """Heaviest standard optimization: adds two-qubit block re-synthesis.
+
+    This is the baseline the paper compares RPO against (Table II).
+    """
+    pm = PassManager()
+    pm.append(Unroller(basis))
+    pm.append(_layout_pass(coupling, backend_properties, initial_layout, dense=True))
+    pm.append(ApplyLayout(coupling))
+    pm.append(StochasticSwap(coupling, trials=8, seed=seed))
+    pm.append(Unroller(basis))
+    pm.append(Optimize1qGates())
+    pm.append(
+        DoWhileController(
+            [
+                ConsolidateBlocks(),
+                Unroller(basis),
+                Optimize1qGates(),
+                CommutativeCancellation(),
+                CXCancellation(),
+                Size(),
+                FixedPoint("size"),
+            ],
+            do_while=lambda ps: not ps.get("size_fixed_point", False),
+            max_iterations=10,
+        )
+    )
+    pm.append(RemoveDiagonalGatesBeforeMeasure())
+    pm.append(RemoveAnnotations())
+    return pm
+
+
+_PRESETS = {
+    0: level_0_pass_manager,
+    1: level_1_pass_manager,
+    2: level_2_pass_manager,
+    3: level_3_pass_manager,
+}
+
+
+def preset_pass_manager(optimization_level: int, *args, **kwargs) -> PassManager:
+    try:
+        factory = _PRESETS[optimization_level]
+    except KeyError:
+        raise TranspilerError(
+            f"unknown optimization level {optimization_level}; choose 0-3"
+        ) from None
+    return factory(*args, **kwargs)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    backend=None,
+    coupling_map: CouplingMap | None = None,
+    backend_properties=None,
+    optimization_level: int = 1,
+    seed: int | None = None,
+    basis_gates=IBM_BASIS,
+    initial_layout: Layout | None = None,
+) -> QuantumCircuit:
+    """Compile ``circuit`` for a target device.
+
+    Either a ``backend`` (see :mod:`repro.backends`) or an explicit
+    ``coupling_map`` may be given; with neither, an all-to-all map of the
+    circuit's own width is assumed (no routing needed).
+    """
+    if backend is not None:
+        coupling_map = backend.coupling_map
+        backend_properties = backend.properties
+    if coupling_map is None:
+        coupling_map = CouplingMap.full(circuit.num_qubits)
+    pm = preset_pass_manager(
+        optimization_level,
+        coupling_map,
+        backend_properties=backend_properties,
+        seed=seed,
+        basis=basis_gates,
+        initial_layout=initial_layout,
+    )
+    return pm.run(circuit)

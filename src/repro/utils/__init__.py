@@ -1,0 +1,5 @@
+"""Small shared utilities used across the :mod:`repro` package."""
+
+from repro.utils.angles import normalize_angle, angles_close, PI, PI2, PI4
+
+__all__ = ["normalize_angle", "angles_close", "PI", "PI2", "PI4"]

@@ -1,0 +1,38 @@
+"""Angle arithmetic helpers.
+
+Rotation parameters in quantum circuits are only meaningful modulo ``2*pi``
+(and some, such as the canonical-gate coordinates, modulo ``pi/2``).  The
+helpers here centralise the branch-cut conventions so every module agrees on
+what "equal angles" means.
+"""
+
+from __future__ import annotations
+
+import math
+
+PI = math.pi
+PI2 = math.pi / 2
+PI4 = math.pi / 4
+
+_DEFAULT_ATOL = 1e-9
+
+
+def normalize_angle(angle: float, period: float = 2 * math.pi) -> float:
+    """Fold ``angle`` into the half-open interval ``[0, period)``.
+
+    Values within numerical noise of ``period`` are folded to ``0.0`` so that
+    e.g. ``normalize_angle(2*pi - 1e-15)`` compares equal to zero.
+    """
+    folded = angle % period
+    if period - folded < _DEFAULT_ATOL:
+        folded = 0.0
+    # avoid the negative zero that ``%`` can produce for tiny negatives
+    return abs(folded) if folded == 0 else folded
+
+
+def angles_close(
+    a: float, b: float, period: float = 2 * math.pi, atol: float = _DEFAULT_ATOL
+) -> bool:
+    """Return ``True`` when two angles agree modulo ``period``."""
+    diff = (a - b) % period
+    return diff < atol or period - diff < atol

@@ -1,0 +1,161 @@
+"""Functional tests for the benchmark workloads."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bernstein_vazirani_boolean,
+    bernstein_vazirani_phase,
+    grover_circuit,
+    maxcut_hamiltonian,
+    quantum_phase_estimation,
+    quantum_volume_circuit,
+    ripple_carry_adder,
+    ry_ansatz,
+    vqe_maxcut,
+)
+from repro.algorithms.vqe import maxcut_expectation
+from repro.circuit import QuantumCircuit
+from repro.simulators import simulate_statevector
+
+from tests.helpers import clbit_distribution
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", [0b0000, 0b1011, 0b1111])
+    def test_boolean_finds_secret(self, secret):
+        circuit = bernstein_vazirani_boolean(4, secret)
+        distribution = clbit_distribution(circuit)
+        assert distribution.get(format(secret, "04b"), 0) > 0.999
+
+    @pytest.mark.parametrize("secret", [0b101, 0b010])
+    def test_phase_finds_secret(self, secret):
+        circuit = bernstein_vazirani_phase(3, secret)
+        distribution = clbit_distribution(circuit)
+        assert distribution.get(format(secret, "03b"), 0) > 0.999
+
+    def test_designs_agree(self):
+        for secret in (0b0110, 0b1001):
+            boolean = clbit_distribution(bernstein_vazirani_boolean(4, secret))
+            phase = clbit_distribution(bernstein_vazirani_phase(4, secret))
+            assert boolean.keys() == phase.keys()
+
+    def test_rejects_oversized_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_boolean(3, 0b10000)
+
+
+class TestQPE:
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_exact_phase_deterministic(self, bits):
+        circuit = quantum_phase_estimation(bits)
+        distribution = clbit_distribution(circuit)
+        assert distribution.get("1" * bits, 0) > 0.999
+
+    def test_custom_phase(self):
+        circuit = quantum_phase_estimation(3, theta=0.25)  # 010
+        distribution = clbit_distribution(circuit)
+        assert distribution.get("010", 0) > 0.999
+
+
+class TestGrover:
+    @pytest.mark.parametrize("design", ["noancilla", "vchain"])
+    def test_finds_marked_element(self, design):
+        circuit = grover_circuit(4, marked=9, iterations=3, design=design)
+        distribution = clbit_distribution(circuit)
+        assert distribution.get("1001", 0) > 0.9
+
+    def test_designs_equivalent(self):
+        a = clbit_distribution(grover_circuit(4, marked=7, iterations=2, design="noancilla"))
+        b = clbit_distribution(grover_circuit(4, marked=7, iterations=2, design="vchain"))
+        for key in set(a) | set(b):
+            assert abs(a.get(key, 0) - b.get(key, 0)) < 1e-7
+
+    def test_annotations_do_not_change_semantics(self):
+        a = clbit_distribution(grover_circuit(4, iterations=2, design="vchain"))
+        b = clbit_distribution(
+            grover_circuit(4, iterations=2, design="vchain", annotate=True)
+        )
+        for key in set(a) | set(b):
+            assert abs(a.get(key, 0) - b.get(key, 0)) < 1e-9
+
+    def test_vchain_cheaper_than_noancilla(self):
+        expensive = grover_circuit(7, design="noancilla", measure=False)
+        cheap = grover_circuit(7, design="vchain", measure=False)
+        from repro.transpiler.passes import Unroller
+        from repro.transpiler.passmanager import PropertySet
+
+        cx_a = Unroller().run(expensive, PropertySet()).count_ops().get("cx", 0)
+        cx_b = Unroller().run(cheap, PropertySet()).count_ops().get("cx", 0)
+        assert cx_b < cx_a / 2
+
+
+class TestQuantumVolume:
+    def test_seeded_determinism(self):
+        a = quantum_volume_circuit(4, seed=5)
+        b = quantum_volume_circuit(4, seed=5)
+        assert np.abs(a.to_matrix() - b.to_matrix()).max() < 1e-12
+
+    def test_shape(self):
+        circuit = quantum_volume_circuit(5, depth=5, seed=0)
+        assert circuit.num_qubits == 5
+        assert circuit.count_ops()["unitary"] == 5 * 2
+
+
+class TestVQE:
+    def test_ansatz_shapes(self):
+        circuit = ry_ansatz(4, depth=2, seed=0)
+        assert circuit.count_ops()["ry"] == 12
+        assert circuit.count_ops()["cx"] == 12  # full entanglement: 6 per layer
+
+    def test_linear_entanglement(self):
+        circuit = ry_ansatz(4, depth=2, seed=0, entanglement="linear")
+        assert circuit.count_ops()["cx"] == 6
+
+    def test_maxcut_expectation_bounds(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        state = simulate_statevector(ry_ansatz(4, depth=1, seed=3))
+        value = maxcut_expectation(state, edges, 4)
+        assert 0 <= value <= len(edges)
+
+    def test_vqe_solves_ring_maxcut(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        best, _params, bitstring = vqe_maxcut(edges, 4, depth=2, seed=3, maxiter=120)
+        # the 4-ring has max cut 4 (alternating partition)
+        assert best > 3.0
+        assert bitstring in ("0101", "1010") or best > 3.5
+
+    def test_hamiltonian_terms(self):
+        terms = maxcut_hamiltonian([(0, 1), (1, 2)], 3)
+        assert len(terms) == 2
+        assert all(w == -0.5 for w, _ in terms)
+
+
+class TestAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (2, 3), (3, 3)])
+    def test_adds(self, a, b):
+        n = 2
+        circuit = QuantumCircuit(2 * n + 2)
+        for i in range(n):
+            if (a >> i) & 1:
+                circuit.x(i)
+            if (b >> i) & 1:
+                circuit.x(n + i)
+        adder = ripple_carry_adder(n)
+        combined = circuit.compose(adder)
+        state = simulate_statevector(combined)
+        outcome = int(np.argmax(np.abs(state)))
+        b_out = (outcome >> n) & (2**n - 1)
+        carry_out = (outcome >> (2 * n + 1)) & 1
+        total = b_out | (carry_out << n)
+        assert total == a + b
+        # carry ancilla uncomputed
+        assert (outcome >> (2 * n)) & 1 == 0
+
+    def test_annotated_variant_equivalent(self):
+        plain = ripple_carry_adder(2)
+        annotated = ripple_carry_adder(2, annotate=True)
+        assert np.abs(
+            plain.to_matrix()
+            - annotated.to_matrix()
+        ).max() < 1e-9

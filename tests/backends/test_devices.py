@@ -1,0 +1,68 @@
+"""Tests for the fake backends (paper Fig. 9 devices)."""
+
+import pytest
+
+from repro.backends import FakeAlmaden, FakeMelbourne, FakeRochester
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return [FakeMelbourne(), FakeAlmaden(), FakeRochester()]
+
+
+class TestTopologies:
+    def test_qubit_counts(self, devices):
+        assert [d.num_qubits for d in devices] == [15, 20, 53]
+
+    def test_connected(self, devices):
+        for device in devices:
+            assert device.coupling_map.is_connected()
+
+    def test_melbourne_ladder_edges(self):
+        cmap = FakeMelbourne().coupling_map
+        assert cmap.are_coupled(0, 1)
+        assert cmap.are_coupled(0, 14)
+        assert cmap.are_coupled(6, 8)
+        assert not cmap.are_coupled(0, 7)
+
+    def test_connectivity_ranking(self, devices):
+        """Paper Sec. VIII-D: melbourne best, rochester worst connectivity.
+
+        Measured as average pairwise distance normalised by qubit count.
+        """
+        import numpy as np
+
+        def mean_distance(device):
+            matrix = device.coupling_map.distance_matrix
+            n = device.num_qubits
+            return matrix[np.isfinite(matrix)].sum() / (n * n)
+
+        melbourne, almaden, rochester = devices
+        assert mean_distance(melbourne) < mean_distance(rochester)
+        assert mean_distance(almaden) < mean_distance(rochester)
+
+    def test_rochester_sparse(self):
+        rochester = FakeRochester()
+        degrees = [rochester.coupling_map.degree(q) for q in range(53)]
+        assert max(degrees) <= 3  # heavy-hex-like sparsity
+
+
+class TestProperties:
+    def test_error_ranges(self, devices):
+        for device in devices:
+            props = device.properties
+            for error in props.single_qubit_error.values():
+                assert 1e-5 < error < 1e-2
+            for error in props.two_qubit_error.values():
+                assert 1e-3 < error < 1e-1
+            for flip0, flip1 in props.readout_error.values():
+                assert 0 < flip0 < 0.2 and 0 < flip1 < 0.2
+
+    def test_deterministic_generation(self):
+        a, b = FakeMelbourne(), FakeMelbourne()
+        assert a.properties.two_qubit_error == b.properties.two_qubit_error
+
+    def test_every_edge_calibrated(self, devices):
+        for device in devices:
+            edges = set(device.coupling_map.edges)
+            assert set(device.properties.two_qubit_error) == edges

@@ -1,0 +1,94 @@
+"""Tests for the DAG representation and converters."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_to_dag, dag_to_circuit
+
+
+def build_sample():
+    circuit = QuantumCircuit(3, 3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.t(1)
+    circuit.cx(1, 2)
+    circuit.measure(2, 2)
+    return circuit
+
+
+class TestRoundTrip:
+    def test_preserves_operations(self):
+        circuit = build_sample()
+        rebuilt = dag_to_circuit(circuit_to_dag(circuit))
+        assert rebuilt.count_ops() == circuit.count_ops()
+
+    def test_preserves_wire_order(self):
+        circuit = build_sample()
+        rebuilt = dag_to_circuit(circuit_to_dag(circuit))
+        # per-wire op sequences must be identical
+        for qubit in range(3):
+            original = [
+                inst.operation.name for inst in circuit.data if qubit in inst.qubits
+            ]
+            round_tripped = [
+                inst.operation.name for inst in rebuilt.data if qubit in inst.qubits
+            ]
+            assert original == round_tripped
+
+    def test_preserves_global_phase(self):
+        circuit = QuantumCircuit(1, global_phase=0.77)
+        circuit.x(0)
+        assert dag_to_circuit(circuit_to_dag(circuit)).global_phase == 0.77
+
+
+class TestStructure:
+    def test_op_nodes(self):
+        dag = circuit_to_dag(build_sample())
+        assert len(dag.op_nodes()) == 5
+        assert len(dag.op_nodes("cx")) == 2
+
+    def test_depth(self):
+        dag = circuit_to_dag(build_sample())
+        assert dag.depth() == build_sample().depth()
+
+    def test_remove_op_node(self):
+        dag = circuit_to_dag(build_sample())
+        t_node = dag.op_nodes("t")[0]
+        dag.remove_op_node(t_node)
+        rebuilt = dag_to_circuit(dag)
+        assert "t" not in rebuilt.count_ops()
+        assert rebuilt.count_ops()["cx"] == 2
+
+    def test_wire_successor_chain(self):
+        dag = circuit_to_dag(build_sample())
+        h_node = dag.op_nodes("h")[0]
+        successor = dag.wire_successor(h_node, ("q", 0))
+        assert successor.name == "cx"
+
+    def test_front_layer(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.h(2)
+        circuit.cx(0, 1)
+        dag = circuit_to_dag(circuit)
+        names = sorted(node.name for node in dag.front_layer())
+        assert names == ["h", "h"]
+
+    def test_layers_partition_all_ops(self):
+        dag = circuit_to_dag(build_sample())
+        total = sum(len(layer) for layer in dag.layers())
+        assert total == 5
+
+    def test_collect_1q_runs(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.t(0)
+        circuit.cx(0, 1)
+        circuit.s(0)
+        dag = circuit_to_dag(circuit)
+        runs = dag.collect_1q_runs()
+        lengths = sorted(len(run) for run in runs)
+        assert lengths == [1, 2]
+
+    def test_count_ops(self):
+        dag = circuit_to_dag(build_sample())
+        assert dag.count_ops()["cx"] == 2

@@ -1,0 +1,160 @@
+"""Tests for the QuantumCircuit builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import ClassicalRegister, QuantumCircuit, QuantumRegister
+from repro.gates import CXGate, XGate
+
+
+class TestConstruction:
+    def test_integer_wires(self):
+        circuit = QuantumCircuit(3, 2)
+        assert circuit.num_qubits == 3
+        assert circuit.num_clbits == 2
+
+    def test_registers(self):
+        qr = QuantumRegister(2, "q")
+        ar = QuantumRegister(3, "a")
+        cr = ClassicalRegister(2, "c")
+        circuit = QuantumCircuit(qr, ar, cr)
+        assert circuit.num_qubits == 5
+        assert circuit.num_clbits == 2
+        assert list(qr) == [0, 1]
+        assert list(ar) == [2, 3, 4]
+        assert ar[1] == 3
+
+    def test_register_rebind_fails(self):
+        qr = QuantumRegister(2, "q")
+        QuantumCircuit(qr)
+        with pytest.raises(ValueError):
+            QuantumCircuit(qr)
+
+    def test_mixed_args_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2, QuantumRegister(2))
+
+
+class TestAppend:
+    def test_out_of_range(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(IndexError):
+            circuit.x(5)
+
+    def test_duplicate_qubits(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.cx(1, 1)
+
+    def test_arity_mismatch(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.append(CXGate(), (0,))
+
+    def test_builder_returns_self(self):
+        circuit = QuantumCircuit(1)
+        assert circuit.x(0) is circuit
+
+
+class TestMetrics:
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(1)
+        assert circuit.depth() == 1
+
+    def test_depth_serial_chain(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        assert circuit.depth() == 3
+
+    def test_barrier_not_counted(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.h(0)
+        assert circuit.depth() == 2
+        assert circuit.size() == 2
+
+    def test_count_ops(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        assert circuit.count_ops() == {"cx": 2, "h": 1}
+
+    def test_num_nonlocal(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.ccx(0, 1, 2)
+        assert circuit.num_nonlocal_gates() == 2
+
+
+class TestTransforms:
+    def test_inverse_undoes(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.t(1)
+        circuit.cx(0, 1)
+        circuit.rx(0.7, 0)
+        combined = circuit.compose(circuit.inverse())
+        assert np.allclose(combined.to_matrix(), np.eye(4), atol=1e-9)
+
+    def test_compose_remaps(self):
+        inner = QuantumCircuit(2)
+        inner.cx(0, 1)
+        outer = QuantumCircuit(3).compose(inner, qubits=[2, 0])
+        instruction = outer.data[0]
+        assert instruction.qubits == (2, 0)
+
+    def test_decompose_expands_one_level(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        expanded = circuit.decompose()
+        assert expanded.count_ops() == {"cx": 3}
+
+    def test_decompose_preserves_matrix(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        circuit.swap(0, 2)
+        assert np.allclose(
+            circuit.decompose().to_matrix(), circuit.to_matrix(), atol=1e-9
+        )
+
+    def test_global_phase_in_matrix(self):
+        circuit = QuantumCircuit(1, global_phase=math.pi / 2)
+        assert np.allclose(circuit.to_matrix(), 1j * np.eye(2))
+
+    def test_copy_is_shallow_data_independent(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        clone = circuit.copy()
+        clone.x(0)
+        assert len(circuit.data) == 1
+        assert len(clone.data) == 2
+
+
+class TestMeasure:
+    def test_measure_all_requires_clbits(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.measure_all()
+
+    def test_to_matrix_rejects_measure(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(ValueError):
+            circuit.to_matrix()
+
+    def test_draw_runs(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        text = circuit.draw()
+        assert "q0" in text and "cx" in text

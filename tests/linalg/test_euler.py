@@ -1,0 +1,99 @@
+"""Unit and property tests for the one-qubit Euler decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.euler import euler_zyz_angles, merge_u3, u3_matrix, u3_params_from_unitary
+from repro.linalg.random import random_su2, random_unitary
+
+ANGLE = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False)
+
+
+def reconstruct(theta, phi, lam, gamma):
+    return np.exp(1j * gamma) * u3_matrix(theta, phi, lam)
+
+
+class TestU3Matrix:
+    def test_identity(self):
+        assert np.allclose(u3_matrix(0, 0, 0), np.eye(2))
+
+    def test_x_gate(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        assert np.allclose(u3_matrix(math.pi, 0, math.pi), x)
+
+    def test_hadamard(self):
+        h = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert np.allclose(u3_matrix(math.pi / 2, 0, math.pi), h)
+
+    def test_unitary(self):
+        m = u3_matrix(0.3, 0.7, -1.2)
+        assert np.allclose(m @ m.conj().T, np.eye(2))
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_roundtrip_random(self, seed):
+        u = random_unitary(2, seed)
+        params = u3_params_from_unitary(u)
+        assert np.allclose(reconstruct(*params), u, atol=1e-10)
+
+    def test_diagonal(self):
+        u = np.diag([1, np.exp(0.7j)])
+        theta, phi, lam, gamma = u3_params_from_unitary(u)
+        assert abs(theta) < 1e-12
+        assert np.allclose(reconstruct(theta, phi, lam, gamma), u)
+
+    def test_antidiagonal(self):
+        u = np.array([[0, 1j], [1, 0]], dtype=complex)
+        params = u3_params_from_unitary(u)
+        assert abs(params[0] - math.pi) < 1e-12
+        assert np.allclose(reconstruct(*params), u)
+
+    def test_global_phase_tracked(self):
+        u = np.exp(0.42j) * np.eye(2)
+        theta, phi, lam, gamma = u3_params_from_unitary(u)
+        assert np.allclose(reconstruct(theta, phi, lam, gamma), u)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            u3_params_from_unitary(np.eye(3))
+
+    @given(theta=ANGLE, phi=ANGLE, lam=ANGLE)
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, theta, phi, lam):
+        u = u3_matrix(theta, phi, lam)
+        params = u3_params_from_unitary(u)
+        assert np.allclose(reconstruct(*params), u, atol=1e-9)
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_zyz_reconstruction(self, seed):
+        u = random_su2(seed)
+        theta, phi, lam, alpha = euler_zyz_angles(u)
+
+        def rz(a):
+            return np.diag([np.exp(-1j * a / 2), np.exp(1j * a / 2)])
+
+        def ry(a):
+            c, s = math.cos(a / 2), math.sin(a / 2)
+            return np.array([[c, -s], [s, c]])
+
+        rebuilt = np.exp(1j * alpha) * rz(phi) @ ry(theta) @ rz(lam)
+        assert np.allclose(rebuilt, u, atol=1e-10)
+
+
+class TestMerge:
+    @given(
+        a=st.tuples(ANGLE, ANGLE, ANGLE),
+        b=st.tuples(ANGLE, ANGLE, ANGLE),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_matches_product(self, a, b):
+        theta, phi, lam, gamma = merge_u3(a, b)
+        product = u3_matrix(*b) @ u3_matrix(*a)
+        assert np.allclose(reconstruct(theta, phi, lam, gamma), product, atol=1e-9)

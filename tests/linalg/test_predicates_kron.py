@@ -1,0 +1,84 @@
+"""Tests for matrix predicates and Kronecker factorisation."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.kron import decompose_kron, nearest_kron_factors
+from repro.linalg.predicates import (
+    is_hermitian,
+    is_identity_up_to_phase,
+    is_unitary,
+    matrices_equal_up_to_phase,
+    phase_difference,
+    statevectors_equal_up_to_phase,
+)
+from repro.linalg.random import random_statevector, random_unitary
+
+
+class TestPredicates:
+    def test_unitary_accepts(self):
+        assert is_unitary(random_unitary(4, 0))
+
+    def test_unitary_rejects(self):
+        assert not is_unitary(np.ones((2, 2)))
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_hermitian(self):
+        assert is_hermitian(np.array([[1, 1j], [-1j, 2]]))
+        assert not is_hermitian(np.array([[1, 1], [-1, 1]]))
+
+    def test_identity_up_to_phase(self):
+        assert is_identity_up_to_phase(np.exp(0.3j) * np.eye(3))
+        assert not is_identity_up_to_phase(np.diag([1, -1]))
+
+    def test_equal_up_to_phase(self):
+        u = random_unitary(2, 1)
+        assert matrices_equal_up_to_phase(np.exp(1.1j) * u, u)
+        assert not matrices_equal_up_to_phase(u, random_unitary(2, 2))
+
+    def test_phase_difference(self):
+        u = random_unitary(2, 3)
+        z = phase_difference(np.exp(0.8j) * u, u)
+        assert z is not None and abs(z - np.exp(0.8j)) < 1e-8
+        assert phase_difference(u, random_unitary(2, 4)) is None
+
+    def test_statevector_phase_equality(self):
+        psi = random_statevector(3, 5)
+        assert statevectors_equal_up_to_phase(np.exp(2.2j) * psi, psi)
+        assert not statevectors_equal_up_to_phase(psi, random_statevector(3, 6))
+
+
+class TestKron:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_factorisation(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = random_unitary(2, rng), random_unitary(2, rng)
+        phase, fa, fb = decompose_kron(np.kron(a, b))
+        rebuilt = phase * np.kron(fa, fb)
+        assert np.abs(rebuilt - np.kron(a, b)).max() < 1e-9
+
+    def test_factors_are_su2(self):
+        rng = np.random.default_rng(11)
+        _, fa, fb = decompose_kron(np.kron(random_unitary(2, rng), random_unitary(2, rng)))
+        assert abs(np.linalg.det(fa) - 1) < 1e-9
+        assert abs(np.linalg.det(fb) - 1) < 1e-9
+
+    def test_rejects_entangling(self):
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+        )
+        with pytest.raises(ValueError):
+            decompose_kron(cx)
+
+    def test_nearest_residual_zero_for_products(self):
+        rng = np.random.default_rng(12)
+        matrix = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        _, _, residual = nearest_kron_factors(matrix)
+        assert residual < 1e-10
+
+    def test_nearest_residual_positive_for_entanglers(self):
+        swap = np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+        )
+        _, _, residual = nearest_kron_factors(swap)
+        assert residual > 0.5

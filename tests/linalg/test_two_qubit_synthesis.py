@@ -1,0 +1,125 @@
+"""Tests for minimal-CNOT two-qubit synthesis and state preparation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.matrix_utils import embed_gate
+from repro.linalg.random import random_statevector, random_unitary
+from repro.linalg.two_qubit_synthesis import (
+    synthesize_two_qubit_unitary,
+    two_qubit_state_prep_circuit,
+)
+from repro.linalg.weyl import canonical_gate
+
+CX = np.array([[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex)
+SWAP = np.array([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex)
+
+
+def cx_count(circuit):
+    return circuit.count_ops().get("cx", 0)
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_exact_reconstruction_random(self, seed):
+        u = random_unitary(4, seed)
+        circuit = synthesize_two_qubit_unitary(u)
+        assert np.abs(circuit.to_matrix() - u).max() < 1e-7
+        assert cx_count(circuit) <= 3
+
+    def test_product_uses_no_cnots(self):
+        rng = np.random.default_rng(1)
+        u = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        circuit = synthesize_two_qubit_unitary(u)
+        assert cx_count(circuit) == 0
+        assert np.abs(circuit.to_matrix() - u).max() < 1e-8
+
+    def test_cx_uses_one(self):
+        circuit = synthesize_two_qubit_unitary(CX)
+        assert cx_count(circuit) == 1
+        assert np.abs(circuit.to_matrix() - CX).max() < 1e-8
+
+    def test_cx_with_locals_uses_one(self):
+        rng = np.random.default_rng(2)
+        u = (
+            np.kron(random_unitary(2, rng), random_unitary(2, rng))
+            @ CX
+            @ np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        )
+        circuit = synthesize_two_qubit_unitary(u)
+        assert cx_count(circuit) == 1
+        assert np.abs(circuit.to_matrix() - u).max() < 1e-7
+
+    def test_two_cnot_class(self):
+        rng = np.random.default_rng(3)
+        u = (
+            embed_gate(random_unitary(2, rng), (0,), 2)
+            @ CX
+            @ embed_gate(random_unitary(2, rng), (1,), 2)
+            @ CX
+            @ embed_gate(random_unitary(2, rng), (0,), 2)
+        )
+        circuit = synthesize_two_qubit_unitary(u)
+        assert cx_count(circuit) <= 2
+        assert np.abs(circuit.to_matrix() - u).max() < 1e-7
+
+    def test_swap_uses_three(self):
+        circuit = synthesize_two_qubit_unitary(SWAP)
+        assert cx_count(circuit) == 3
+        assert np.abs(circuit.to_matrix() - SWAP).max() < 1e-8
+
+    def test_canonical_gates(self):
+        for a, b, c in [(0.3, 0.2, 0.1), (np.pi / 4, 0.0, 0.0), (0.5, -0.4, 0.0)]:
+            target = canonical_gate(a, b, c)
+            circuit = synthesize_two_qubit_unitary(target)
+            assert np.abs(circuit.to_matrix() - target).max() < 1e-7
+
+    def test_global_phase_preserved(self):
+        u = np.exp(0.9j) * random_unitary(4, 7)
+        circuit = synthesize_two_qubit_unitary(u)
+        assert np.abs(circuit.to_matrix() - u).max() < 1e-7
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            synthesize_two_qubit_unitary(np.eye(2))
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random(self, seed):
+        u = random_unitary(4, seed)
+        circuit = synthesize_two_qubit_unitary(u)
+        assert np.abs(circuit.to_matrix() - u).max() < 1e-6
+
+
+class TestStatePrep:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_prepares_exactly(self, seed):
+        psi = random_statevector(2, seed)
+        circuit = two_qubit_state_prep_circuit(psi)
+        produced = circuit.to_matrix()[:, 0]
+        assert np.abs(produced - psi).max() < 1e-8
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_uses_at_most_one_cnot(self, seed):
+        psi = random_statevector(2, seed)
+        circuit = two_qubit_state_prep_circuit(psi)
+        assert cx_count(circuit) <= 1
+
+    def test_product_state_uses_no_cnot(self):
+        rng = np.random.default_rng(4)
+        psi = np.kron(random_statevector(1, rng), random_statevector(1, rng))
+        circuit = two_qubit_state_prep_circuit(psi)
+        assert cx_count(circuit) == 0
+        assert np.abs(circuit.to_matrix()[:, 0] - psi).max() < 1e-8
+
+    def test_bell_state(self):
+        bell = np.array([1, 0, 0, 1], dtype=complex) / np.sqrt(2)
+        circuit = two_qubit_state_prep_circuit(bell)
+        assert cx_count(circuit) == 1
+        assert np.abs(circuit.to_matrix()[:, 0] - bell).max() < 1e-8
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError):
+            two_qubit_state_prep_circuit(np.array([1.0, 1.0, 0, 0]))

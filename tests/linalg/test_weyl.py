@@ -1,0 +1,114 @@
+"""Tests for the two-qubit Weyl (KAK) decomposition and CNOT counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.matrix_utils import embed_gate
+from repro.linalg.random import random_unitary
+from repro.linalg.weyl import (
+    canonical_gate,
+    num_cnots_required,
+    weyl_decompose,
+)
+
+CX = np.array([[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex)
+SWAP = np.array([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex)
+
+
+def local(u1, u0):
+    return np.kron(u1, u0)
+
+
+class TestCanonicalGate:
+    def test_identity_at_origin(self):
+        assert np.allclose(canonical_gate(0, 0, 0), np.eye(4))
+
+    def test_unitary(self):
+        m = canonical_gate(0.3, -0.2, 0.8)
+        assert np.allclose(m @ m.conj().T, np.eye(4), atol=1e-12)
+
+    def test_additive(self):
+        a = canonical_gate(0.3, 0.1, -0.2)
+        b = canonical_gate(0.2, 0.25, 0.4)
+        ab = canonical_gate(0.5, 0.35, 0.2)
+        assert np.allclose(a @ b, ab, atol=1e-12)
+
+
+class TestWeylDecompose:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_reconstruction_random(self, seed):
+        u = random_unitary(4, seed)
+        decomposition = weyl_decompose(u)
+        assert np.abs(decomposition.reconstruct() - u).max() < 1e-9
+
+    @pytest.mark.parametrize(
+        "matrix", [np.eye(4, dtype=complex), CX, SWAP], ids=["I", "CX", "SWAP"]
+    )
+    def test_reconstruction_special(self, matrix):
+        decomposition = weyl_decompose(matrix)
+        assert np.abs(decomposition.reconstruct() - matrix).max() < 1e-9
+
+    def test_cx_coordinates(self):
+        d = weyl_decompose(CX)
+        assert abs(d.a - np.pi / 4) < 1e-9
+        assert abs(d.b) < 1e-9 and abs(d.c) < 1e-9
+
+    def test_local_factors_are_su2(self):
+        d = weyl_decompose(random_unitary(4, 99))
+        for k in (d.K1l, d.K1r, d.K2l, d.K2r):
+            assert np.allclose(k @ k.conj().T, np.eye(2), atol=1e-9)
+            assert abs(np.linalg.det(k) - 1) < 1e-9
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            weyl_decompose(np.ones((2, 4)))
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            weyl_decompose(np.ones((4, 4)))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_reconstruction(self, seed):
+        u = random_unitary(4, seed)
+        d = weyl_decompose(u)
+        assert np.abs(d.reconstruct() - u).max() < 1e-8
+
+
+class TestCnotCount:
+    def test_product_is_zero(self):
+        rng = np.random.default_rng(5)
+        u = local(random_unitary(2, rng), random_unitary(2, rng))
+        assert num_cnots_required(u) == 0
+
+    def test_cx_is_one(self):
+        assert num_cnots_required(CX) == 1
+
+    def test_swap_is_three(self):
+        assert num_cnots_required(SWAP) == 3
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_is_three(self, seed):
+        # Haar-random unitaries are generically in the 3-CNOT class
+        assert num_cnots_required(random_unitary(4, seed + 1000)) == 3
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_k_cnot_products_need_at_most_k(self, k):
+        rng = np.random.default_rng(17)
+        for _ in range(10):
+            u = local(random_unitary(2, rng), random_unitary(2, rng))
+            for _ in range(k):
+                direction = rng.integers(2)
+                cx = CX if direction else embed_gate(
+                    np.array([[0, 1], [1, 0]], dtype=complex), (1,), 2
+                ) @ CX @ embed_gate(np.eye(2), (0,), 2)
+                cx = CX  # same-direction CNOTs; locals randomize the class
+                u = local(random_unitary(2, rng), random_unitary(2, rng)) @ cx @ u
+            assert num_cnots_required(u) <= k
+
+    def test_phase_invariance(self):
+        u = random_unitary(4, 3)
+        n = num_cnots_required(u)
+        assert num_cnots_required(np.exp(0.7j) * u) == n

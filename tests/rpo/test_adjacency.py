@@ -1,0 +1,70 @@
+"""Tests for the SWAPZ profitability guard (rpo.adjacency)."""
+
+from repro.circuit import QuantumCircuit
+from repro.rpo.adjacency import same_pair_adjacent_indices
+
+
+class TestSamePairAdjacency:
+    def test_adjacent_same_pair(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        circuit.cx(0, 1)
+        assert same_pair_adjacent_indices(circuit) == {0, 1}
+
+    def test_one_qubit_gates_transparent(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        circuit.h(0)
+        circuit.t(1)
+        circuit.cx(0, 1)
+        assert same_pair_adjacent_indices(circuit) == {0, 3}
+
+    def test_different_pair_not_adjacent(self):
+        circuit = QuantumCircuit(3)
+        circuit.swap(0, 1)
+        circuit.cx(1, 2)
+        assert same_pair_adjacent_indices(circuit) == set()
+
+    def test_single_wire_interposer_still_adjacent(self):
+        # cx(0,2) touches wire 0 between the pair gates, but they remain
+        # consecutive on wire 1: the conservative guard still fires
+        circuit = QuantumCircuit(3)
+        circuit.swap(0, 1)
+        circuit.cx(0, 2)
+        circuit.cx(0, 1)
+        assert {0, 2} <= same_pair_adjacent_indices(circuit)
+
+    def test_measure_fences(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.swap(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 0)
+        circuit.cx(0, 1)
+        assert same_pair_adjacent_indices(circuit) == set()
+
+    def test_guard_prevents_regression(self):
+        """A SWAP next to a same-pair CX is left for consolidation."""
+        from repro.rpo import QPOPass
+        from repro.transpiler.passmanager import PropertySet
+
+        circuit = QuantumCircuit(3)
+        circuit.u3(0.7, 0.2, 0.0, 0)
+        circuit.h(1)
+        circuit.cx(1, 2)  # make qubit 1 unknown
+        circuit.swap(0, 1)
+        circuit.cx(0, 1)  # same-pair neighbour
+        out = QPOPass().run(circuit, PropertySet())
+        assert out.count_ops().get("swapz", 0) == 0
+        assert out.count_ops().get("swap", 0) == 1
+
+    def test_isolated_swap_still_converted(self):
+        from repro.rpo import QPOPass
+        from repro.transpiler.passmanager import PropertySet
+
+        circuit = QuantumCircuit(3)
+        circuit.u3(0.7, 0.2, 0.0, 0)
+        circuit.h(1)
+        circuit.cx(1, 2)
+        circuit.swap(0, 1)  # no same-pair neighbour
+        out = QPOPass().run(circuit, PropertySet())
+        assert out.count_ops().get("swapz", 0) == 1

@@ -1,0 +1,158 @@
+"""Tests for the Hoare-logic baseline optimizer."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.rpo import HoareOptimizer
+from repro.transpiler.passmanager import PropertySet
+
+from tests.helpers import assert_functionally_equivalent
+
+
+def run_hoare(circuit, **kwargs):
+    return HoareOptimizer(**kwargs).run(circuit, PropertySet())
+
+
+class TestControlRules:
+    def test_cx_control_zero_removed(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        out = run_hoare(circuit)
+        assert out.size() == 0
+        assert_functionally_equivalent(circuit, out)
+
+    def test_cx_control_one_strips(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.cx(0, 1)
+        out = run_hoare(circuit)
+        assert out.count_ops() == {"x": 2}
+        assert_functionally_equivalent(circuit, out)
+
+    def test_superposed_control_kept(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cx", 0) == 1
+
+    def test_toffoli_chain(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.x(1)
+        circuit.ccx(0, 1, 2)
+        out = run_hoare(circuit)
+        assert out.count_ops().get("ccx", 0) == 0
+        assert_functionally_equivalent(circuit, out)
+
+    def test_classical_propagation_through_cx(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.cx(0, 1)  # q1 provably |1>
+        circuit.cx(1, 2)  # should strip to x
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cx", 0) == 0
+        assert_functionally_equivalent(circuit, out)
+
+
+class TestDiagonalRules:
+    def test_diagonal_on_constant_removed(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        circuit.z(0)
+        out = run_hoare(circuit)
+        assert out.size() == 0
+
+    def test_diagonal_on_superposition_kept(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.t(0)
+        out = run_hoare(circuit)
+        assert out.count_ops().get("t", 0) == 1
+
+    def test_cz_constant_target_one(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.x(1)
+        circuit.cz(0, 1)  # target |1>: equivalent to Z on control
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cz", 0) == 0
+        assert_functionally_equivalent(circuit, out)
+
+
+class TestXBasisBlindness:
+    """The support-set engine cannot see phases: exactly the paper's
+    observation that the Hoare baseline misses the boolean->phase oracle
+    rewrite (Sec. VIII-A)."""
+
+    def test_minus_target_cx_not_optimized(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.x(1)
+        circuit.h(1)  # |->
+        circuit.cx(0, 1)
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cx", 0) == 1  # QBO would remove this
+
+    def test_bv_oracle_not_converted(self):
+        from repro.algorithms import bernstein_vazirani_boolean
+
+        circuit = bernstein_vazirani_boolean(4, 0b1011, measure=False)
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cx", 0) == 3
+
+
+class TestSupportMachinery:
+    def test_entangled_cluster_not_constant(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)  # control genuinely superposed
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cx", 0) == 2
+
+    def test_disentangling_recovers_knowledge(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)  # support collapses back to q1 = 0
+        circuit.cx(1, 2)  # provably control-|0>: removed
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cx", 0) == 2
+        assert_functionally_equivalent(circuit, out)
+
+    def test_reset_restores_zero(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.reset(0)
+        circuit.cx(0, 1)
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cx", 0) == 0
+
+    def test_support_cap_goes_conservative(self):
+        circuit = QuantumCircuit(9)
+        for qubit in range(9):
+            circuit.h(qubit)
+        for qubit in range(8):
+            circuit.cx(qubit, qubit + 1)
+        circuit.cx(0, 8)
+        out = run_hoare(HoareOptimizer(max_support=4).run(circuit, PropertySet()))
+        assert out.count_ops().get("cx", 0) == 9  # nothing removable, no crash
+
+    def test_swap_permutes_support(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.swap(0, 1)
+        circuit.cx(1, 0)  # control now provably |1>: strip to X
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cx", 0) == 0
+        assert_functionally_equivalent(circuit, out)
+
+    def test_annotations_ignored(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.annotate_zero(0)  # hoare must NOT trust annotations
+        circuit.cx(0, 1)
+        out = run_hoare(circuit)
+        assert out.count_ops().get("cx", 0) == 2

@@ -1,0 +1,195 @@
+"""Matrix-level verification of the paper's equations.
+
+These tests check the *identities themselves*, independent of the passes:
+each rewrite's circuit is compared against the original on the premised
+input states (functional form) or as full matrices where the paper claims
+unitary equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.gates import SwapGate, SwapZGate
+from repro.linalg.euler import u3_matrix
+from repro.simulators import circuit_unitary, simulate_statevector
+
+
+def state_of(circuit, initial=None):
+    return simulate_statevector(circuit, initial)
+
+
+def product_state(*single_qubit_states):
+    """Little-endian product state: argument ``i`` is qubit ``i``."""
+    state = np.array([1.0], dtype=complex)
+    for psi in single_qubit_states[::-1]:  # qubit 0 = least significant
+        state = np.kron(state, psi)
+    return state
+
+
+ZERO = np.array([1, 0], dtype=complex)
+ONE = np.array([0, 1], dtype=complex)
+
+
+class TestEq1CnotZeroControl:
+    def test_cnot_acts_as_wire_on_zero_control(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        rng = np.random.default_rng(0)
+        psi = rng.normal(size=2) + 1j * rng.normal(size=2)
+        psi /= np.linalg.norm(psi)
+        inp = product_state(ZERO, psi)  # control q0 = |0>
+        out = state_of(circuit, inp)
+        assert np.abs(out - inp).max() < 1e-12
+
+
+class TestEq3And4Swapz:
+    def test_swapz_is_swap_minus_first_cnot(self):
+        """Eq. 3: SWAPZ = the 3-CNOT SWAP without the first CNOT."""
+        swapz = SwapZGate().to_matrix()
+        reduced = QuantumCircuit(2)
+        reduced.cx(1, 0)
+        reduced.cx(0, 1)
+        assert np.abs(circuit_unitary(reduced) - swapz).max() < 1e-12
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_swapz_swaps_when_zero(self, seed):
+        """Eq. 4: SWAPZ acts as SWAP when its first qubit is |0>."""
+        rng = np.random.default_rng(seed)
+        psi = rng.normal(size=2) + 1j * rng.normal(size=2)
+        psi /= np.linalg.norm(psi)
+        inp = product_state(ZERO, psi)  # q0 = |0>, q1 = psi
+        swap_c = QuantumCircuit(2)
+        swap_c.swap(0, 1)
+        swapz_c = QuantumCircuit(2)
+        swapz_c.swapz(0, 1)
+        assert np.abs(state_of(swap_c, inp) - state_of(swapz_c, inp)).max() < 1e-12
+
+    def test_swapz_differs_from_swap_as_unitary(self):
+        assert np.abs(SwapGate().to_matrix() - SwapZGate().to_matrix()).max() > 0.5
+
+
+class TestEq5SwapWithPureState:
+    @pytest.mark.parametrize("theta,phi", [(0.7, 0.3), (1.9, -1.1), (np.pi / 2, 0.0)])
+    def test_identity(self, theta, phi):
+        """Eq. 5: SWAP = (U on psi-wire after) . SWAPZ . (U^-1 on pi-wire)."""
+        prep = u3_matrix(theta, phi, 0.0)
+        pi_state = prep @ ZERO
+        rng = np.random.default_rng(1)
+        psi = rng.normal(size=2) + 1j * rng.normal(size=2)
+        psi /= np.linalg.norm(psi)
+        inp = product_state(pi_state, psi)  # q0 = |pi>, q1 = |psi>
+
+        reference = QuantumCircuit(2)
+        reference.swap(0, 1)
+
+        rewritten = QuantumCircuit(2)
+        rewritten.unitary(prep.conj().T, (0,))
+        rewritten.swapz(0, 1)
+        rewritten.unitary(prep, (1,))
+
+        out_a = state_of(reference, inp)
+        out_b = state_of(rewritten, inp)
+        assert abs(abs(np.vdot(out_a, out_b)) - 1) < 1e-10
+
+
+class TestEq6SwapBothPure:
+    def test_identity(self):
+        """Eq. 6: SWAP = V (x) V^-1 when |pi> = V|psi>."""
+        u_psi = u3_matrix(0.7, 0.3, 0.0)
+        u_pi = u3_matrix(1.4, -0.9, 0.0)
+        v = u_pi @ u_psi.conj().T
+        inp = product_state(u_psi @ ZERO, u_pi @ ZERO)  # q0=|psi>, q1=|pi>
+
+        reference = QuantumCircuit(2)
+        reference.swap(0, 1)
+        rewritten = QuantumCircuit(2)
+        rewritten.unitary(v, (0,))
+        rewritten.unitary(v.conj().T, (1,))
+
+        out_a = state_of(reference, inp)
+        out_b = state_of(rewritten, inp)
+        assert abs(abs(np.vdot(out_a, out_b)) - 1) < 1e-10
+
+
+class TestEq8Toffoli:
+    def _rand(self, seed):
+        rng = np.random.default_rng(seed)
+        psi = rng.normal(size=2) + 1j * rng.normal(size=2)
+        return psi / np.linalg.norm(psi)
+
+    def test_control_zero(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        inp = product_state(ZERO, self._rand(2), self._rand(3))
+        assert np.abs(state_of(circuit, inp) - inp).max() < 1e-12
+
+    def test_control_one_is_cx(self):
+        toffoli = QuantumCircuit(3)
+        toffoli.ccx(0, 1, 2)
+        reduced = QuantumCircuit(3)
+        reduced.cx(1, 2)
+        inp = product_state(ONE, self._rand(4), self._rand(5))
+        assert np.abs(state_of(toffoli, inp) - state_of(reduced, inp)).max() < 1e-10
+
+    def test_target_plus_is_identity(self):
+        plus = np.array([1, 1], dtype=complex) / np.sqrt(2)
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        inp = product_state(self._rand(6), self._rand(7), plus)
+        assert np.abs(state_of(circuit, inp) - inp).max() < 1e-10
+
+    def test_target_minus_is_cz(self):
+        minus = np.array([1, -1], dtype=complex) / np.sqrt(2)
+        toffoli = QuantumCircuit(3)
+        toffoli.ccx(0, 1, 2)
+        reduced = QuantumCircuit(3)
+        reduced.cz(0, 1)
+        inp = product_state(self._rand(8), self._rand(9), minus)
+        out_a = state_of(toffoli, inp)
+        out_b = state_of(reduced, inp)
+        assert abs(abs(np.vdot(out_a, out_b)) - 1) < 1e-10
+
+
+class TestEq9Fredkin:
+    def test_identity(self):
+        """Fredkin = CU (x) CU^-1 on known pure targets."""
+        u_a = u3_matrix(0.7, 0.3, 0.0)
+        u_b = u3_matrix(1.1, -0.4, 0.0)
+        u = u_b @ u_a.conj().T
+        ctrl = np.array([0.6, 0.8j], dtype=complex)
+        inp = product_state(ctrl, u_a @ ZERO, u_b @ ZERO)
+
+        fredkin = QuantumCircuit(3)
+        fredkin.cswap(0, 1, 2)
+
+        rewritten = QuantumCircuit(3)
+        from repro.circuit.instruction import ControlledGate
+        from repro.gates import UnitaryGate
+
+        rewritten.append(ControlledGate("cu", 1, UnitaryGate(u)), (0, 1))
+        rewritten.append(ControlledGate("cu", 1, UnitaryGate(u.conj().T)), (0, 2))
+
+        out_a = state_of(fredkin, inp)
+        out_b = state_of(rewritten, inp)
+        assert abs(abs(np.vdot(out_a, out_b)) - 1) < 1e-10
+
+
+class TestFig2SwapDecomposition:
+    def test_three_cnots(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        circuit.cx(0, 1)
+        assert np.abs(circuit_unitary(circuit) - SwapGate().to_matrix()).max() < 1e-12
+
+
+class TestFig14Fredkin:
+    def test_cnot_toffoli_cnot(self):
+        from repro.gates import CSwapGate
+
+        circuit = QuantumCircuit(3)
+        circuit.cx(2, 1)
+        circuit.ccx(0, 1, 2)
+        circuit.cx(2, 1)
+        assert np.abs(circuit_unitary(circuit) - CSwapGate().to_matrix()).max() < 1e-12

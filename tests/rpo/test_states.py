@@ -1,0 +1,123 @@
+"""Tests for the basis-state lattice against the paper's Fig. 5 automaton."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gates import HGate, SdgGate, SGate, TGate, XGate, YGate, ZGate
+from repro.rpo.states import (
+    TOP,
+    BasisState,
+    basis_state_of_bloch_tuple,
+    bloch_tuple_of_basis_state,
+    eigenphase_if_fixed,
+    preparation_matrices,
+    statevector_of_basis_state,
+    transition,
+)
+
+Z0, O1 = BasisState.ZERO, BasisState.ONE
+P, M = BasisState.PLUS, BasisState.MINUS
+L, R = BasisState.LEFT, BasisState.RIGHT
+
+#: The half- and quarter-turn transitions of paper Fig. 5.
+FIG5_TABLE = {
+    "x": {Z0: O1, O1: Z0, P: P, M: M, L: R, R: L},
+    "y": {Z0: O1, O1: Z0, P: M, M: P, L: L, R: R},
+    "z": {Z0: Z0, O1: O1, P: M, M: P, L: R, R: L},
+    "h": {Z0: P, P: Z0, O1: M, M: O1, L: R, R: L},
+    "s": {Z0: Z0, O1: O1, P: L, L: M, M: R, R: P},
+    "sdg": {Z0: Z0, O1: O1, P: R, R: M, M: L, L: P},
+}
+
+GATES = {
+    "x": XGate(),
+    "y": YGate(),
+    "z": ZGate(),
+    "h": HGate(),
+    "s": SGate(),
+    "sdg": SdgGate(),
+}
+
+
+class TestFig5Automaton:
+    @pytest.mark.parametrize("gate_name", sorted(FIG5_TABLE))
+    def test_transition_table(self, gate_name):
+        matrix = GATES[gate_name].to_matrix()
+        for source, expected in FIG5_TABLE[gate_name].items():
+            assert transition(source, matrix) is expected, (
+                f"{gate_name}: {source} should go to {expected}"
+            )
+
+    def test_t_gate_keeps_z_basis_only(self):
+        t = TGate().to_matrix()
+        assert transition(Z0, t) is Z0
+        assert transition(O1, t) is O1
+        assert transition(P, t) is TOP  # eighth turn leaves the lattice
+
+    def test_generic_gate_goes_to_top(self):
+        from repro.linalg.random import random_unitary
+
+        u = random_unitary(2, 42)
+        assert transition(Z0, u) is TOP
+
+    def test_top_stays_top(self):
+        assert transition(TOP, XGate().to_matrix()) is TOP
+
+    def test_transitions_match_statevectors(self):
+        # cross-validate the Bloch machinery against direct state evolution
+        for name, gate in GATES.items():
+            matrix = gate.to_matrix()
+            for source in FIG5_TABLE[name]:
+                target = transition(source, matrix)
+                evolved = matrix @ statevector_of_basis_state(source)
+                expected = statevector_of_basis_state(target)
+                overlap = abs(np.vdot(expected, evolved))
+                assert abs(overlap - 1) < 1e-9
+
+
+class TestEigenphase:
+    def test_eigenstate_plus_of_x(self):
+        assert abs(eigenphase_if_fixed(P, XGate().to_matrix())) < 1e-12
+
+    def test_eigenstate_minus_of_x(self):
+        phase = eigenphase_if_fixed(M, XGate().to_matrix())
+        assert abs(abs(phase) - math.pi) < 1e-12
+
+    def test_z_on_zero(self):
+        assert abs(eigenphase_if_fixed(Z0, ZGate().to_matrix())) < 1e-12
+
+    def test_non_eigenstate_returns_none(self):
+        assert eigenphase_if_fixed(Z0, XGate().to_matrix()) is None
+
+    def test_top_returns_none(self):
+        assert eigenphase_if_fixed(TOP, ZGate().to_matrix()) is None
+
+
+class TestBlochTuples:
+    @pytest.mark.parametrize("state", [Z0, O1, P, M, L, R])
+    def test_roundtrip(self, state):
+        theta, phi = bloch_tuple_of_basis_state(state)
+        assert basis_state_of_bloch_tuple(theta, phi) is state
+
+    def test_non_basis_tuple_is_top(self):
+        assert basis_state_of_bloch_tuple(0.3, 0.4) is TOP
+
+    @pytest.mark.parametrize("state", [Z0, O1, P, M, L, R])
+    def test_tuple_matches_statevector(self, state):
+        theta, phi = bloch_tuple_of_basis_state(state)
+        vector = np.array(
+            [math.cos(theta / 2), np.exp(1j * phi) * math.sin(theta / 2)]
+        )
+        overlap = abs(np.vdot(vector, statevector_of_basis_state(state)))
+        assert abs(overlap - 1) < 1e-9
+
+
+class TestPreparations:
+    @pytest.mark.parametrize("state", [Z0, O1, P, M, L, R])
+    def test_prepares_from_zero(self, state):
+        prep = preparation_matrices(state)
+        produced = prep @ np.array([1, 0], dtype=complex)
+        overlap = abs(np.vdot(statevector_of_basis_state(state), produced))
+        assert abs(overlap - 1) < 1e-9

@@ -1,0 +1,125 @@
+"""Tests for the basis-state and pure-state dataflow trackers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gates import HGate, SGate, TGate, XGate
+from repro.linalg.euler import u3_matrix
+from repro.rpo import BasisState, BasisStateTracker, PureStateTracker
+
+
+class TestBasisTracker:
+    def test_starts_in_ground_state(self):
+        tracker = BasisStateTracker(3)
+        assert all(tracker.state(q) is BasisState.ZERO for q in range(3))
+
+    def test_gate_chain(self):
+        tracker = BasisStateTracker(1)
+        tracker.apply_1q_gate(0, HGate().to_matrix())
+        assert tracker.state(0) is BasisState.PLUS
+        tracker.apply_1q_gate(0, SGate().to_matrix())
+        assert tracker.state(0) is BasisState.LEFT
+
+    def test_t_gate_drops_x_basis(self):
+        tracker = BasisStateTracker(1)
+        tracker.apply_1q_gate(0, HGate().to_matrix())
+        tracker.apply_1q_gate(0, TGate().to_matrix())
+        assert tracker.state(0) is BasisState.TOP
+
+    def test_reset(self):
+        tracker = BasisStateTracker(1)
+        tracker.invalidate([0])
+        tracker.apply_reset(0)
+        assert tracker.state(0) is BasisState.ZERO
+
+    def test_measure_keeps_z(self):
+        tracker = BasisStateTracker(2)
+        tracker.apply_1q_gate(0, XGate().to_matrix())
+        tracker.apply_measure(0)
+        assert tracker.state(0) is BasisState.ONE
+        tracker.apply_1q_gate(1, HGate().to_matrix())
+        tracker.apply_measure(1)
+        assert tracker.state(1) is BasisState.TOP
+
+    def test_annotation(self):
+        tracker = BasisStateTracker(1)
+        tracker.invalidate([0])
+        tracker.apply_annotation(0, math.pi / 2, math.pi)
+        assert tracker.state(0) is BasisState.MINUS
+        tracker.apply_annotation(0, 0.42, 0.0)
+        assert tracker.state(0) is BasisState.TOP
+
+    def test_swap_exchanges_including_top(self):
+        tracker = BasisStateTracker(2)
+        tracker.apply_1q_gate(0, XGate().to_matrix())
+        tracker.invalidate([1])
+        tracker.apply_swap(0, 1)
+        assert tracker.state(0) is BasisState.TOP
+        assert tracker.state(1) is BasisState.ONE
+
+    def test_copy_is_independent(self):
+        tracker = BasisStateTracker(1)
+        clone = tracker.copy()
+        clone.invalidate([0])
+        assert tracker.state(0) is BasisState.ZERO
+
+
+class TestPureTracker:
+    def test_starts_at_zero_tuple(self):
+        tracker = PureStateTracker(2)
+        assert tracker.state(0) == (0.0, 0.0)
+
+    def test_u3_merging(self):
+        tracker = PureStateTracker(1)
+        tracker.apply_1q_gate(0, u3_matrix(0.7, 0.3, 0.9))
+        theta, phi = tracker.state(0)
+        expected = u3_matrix(0.7, 0.3, 0.9) @ np.array([1, 0])
+        produced = u3_matrix(theta, phi, 0.0) @ np.array([1, 0])
+        assert abs(abs(np.vdot(expected, produced)) - 1) < 1e-9
+
+    def test_statevector_consistency(self):
+        tracker = PureStateTracker(1)
+        tracker.apply_1q_gate(0, HGate().to_matrix())
+        tracker.apply_1q_gate(0, TGate().to_matrix())
+        vector = tracker.statevector(0)
+        expected = TGate().to_matrix() @ HGate().to_matrix() @ np.array([1, 0])
+        assert abs(abs(np.vdot(vector, expected)) - 1) < 1e-9
+
+    def test_preparation_matrix(self):
+        tracker = PureStateTracker(1)
+        tracker.apply_1q_gate(0, u3_matrix(1.1, -0.4, 0.2))
+        prep = tracker.preparation_matrix(0)
+        produced = prep @ np.array([1, 0])
+        assert abs(abs(np.vdot(produced, tracker.statevector(0))) - 1) < 1e-9
+
+    def test_invalidate_and_query(self):
+        tracker = PureStateTracker(1)
+        tracker.invalidate([0])
+        assert not tracker.is_known(0)
+        with pytest.raises(ValueError):
+            tracker.statevector(0)
+
+    def test_measure_keeps_poles_only(self):
+        tracker = PureStateTracker(2)
+        tracker.apply_measure(0)
+        assert tracker.is_known(0)  # |0> survives
+        tracker.apply_1q_gate(1, HGate().to_matrix())
+        tracker.apply_measure(1)
+        assert not tracker.is_known(1)
+
+    def test_basis_classification(self):
+        tracker = PureStateTracker(1)
+        tracker.apply_1q_gate(0, HGate().to_matrix())
+        assert tracker.basis_classification(0) is BasisState.PLUS
+        tracker.apply_1q_gate(0, u3_matrix(0.2, 0.1, 0.0))
+        assert tracker.basis_classification(0) is BasisState.TOP
+
+    def test_annotation_and_reset(self):
+        tracker = PureStateTracker(1)
+        tracker.invalidate([0])
+        tracker.apply_annotation(0, 0.7, 0.2)
+        assert tracker.state(0) == (0.7, 0.2)
+        tracker.apply_reset(0)
+        assert tracker.state(0) == (0.0, 0.0)

@@ -1,0 +1,165 @@
+"""Tests for the statevector, unitary, and noisy simulators."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.simulators import (
+    Counts,
+    NoiseModel,
+    NoisySimulator,
+    StatevectorSimulator,
+    circuit_unitary,
+    simulate_statevector,
+    success_rate,
+)
+
+
+class TestStatevector:
+    def test_bell_state(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        state = simulate_statevector(circuit)
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.abs(state - expected).max() < 1e-10
+
+    def test_little_endian_convention(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)  # qubit 0 -> bit 0
+        state = simulate_statevector(circuit)
+        assert abs(state[1] - 1) < 1e-12
+
+    def test_three_qubit_gate(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.x(1)
+        circuit.ccx(0, 1, 2)
+        state = simulate_statevector(circuit)
+        assert abs(abs(state[7]) - 1) < 1e-12
+
+    def test_global_phase(self):
+        circuit = QuantumCircuit(1, global_phase=np.pi)
+        state = simulate_statevector(circuit)
+        assert abs(state[0] + 1) < 1e-12
+
+    def test_initial_state(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        plus = np.array([1, 1]) / np.sqrt(2)
+        state = simulate_statevector(circuit, initial_state=plus)
+        assert abs(state[0] - 1) < 1e-10
+
+    def test_reset(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.reset(0)
+        state = StatevectorSimulator(seed=0).statevector(circuit)
+        assert abs(state[0] - 1) < 1e-12
+
+    def test_measurement_sampling(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        counts = StatevectorSimulator(seed=3).run(circuit, shots=4000)
+        assert abs(counts["0"] / 4000 - 0.5) < 0.05
+
+    def test_mid_circuit_measurement_collapses(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.cx(0, 1)
+        circuit.measure(1, 1)
+        counts = StatevectorSimulator(seed=4).run(circuit, shots=500)
+        for key in counts:
+            assert key[0] == key[1]  # perfectly correlated
+
+    def test_deterministic_measure(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        counts = StatevectorSimulator(seed=5).run(circuit, shots=100)
+        assert counts == {"1": 100}
+
+
+class TestUnitary:
+    def test_matches_to_matrix(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.ccx(0, 1, 2)
+        circuit.rz(0.3, 2)
+        assert np.abs(circuit_unitary(circuit) - circuit.to_matrix()).max() < 1e-9
+
+    def test_rejects_measure(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(ValueError):
+            circuit_unitary(circuit)
+
+
+class TestCounts:
+    def test_probabilities(self):
+        counts = Counts({"00": 750, "11": 250})
+        probs = counts.probabilities()
+        assert abs(probs["00"] - 0.75) < 1e-12
+
+    def test_most_frequent(self):
+        assert Counts({"01": 5, "10": 9}).most_frequent() == "10"
+
+    def test_success_rate(self):
+        counts = Counts({"111": 230, "000": 770})
+        assert abs(success_rate(counts, "111") - 0.23) < 1e-12
+        assert success_rate(Counts({}), "1") == 0.0
+
+
+class TestNoisy:
+    def test_noiseless_model_matches_ideal(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        counts = NoisySimulator(NoiseModel(), seed=1).run(circuit, shots=300)
+        assert set(counts) == {"00", "11"}
+
+    def test_depolarizing_reduces_success(self):
+        circuit = QuantumCircuit(2, 2)
+        for _ in range(8):
+            circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        noisy = NoisySimulator(NoiseModel.uniform(two_qubit=0.08), seed=2)
+        counts = noisy.run(circuit, shots=800)
+        assert success_rate(counts, "00") < 0.95
+
+    def test_readout_error_flips(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        model = NoiseModel(default_readout_error=(0.0, 0.25))
+        counts = NoisySimulator(model, seed=3).run(circuit, shots=2000)
+        assert 0.15 < counts.get("0", 0) / 2000 < 0.35
+
+    def test_more_noise_is_worse(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        for _ in range(5):  # odd count: a Bell pair with extra noise exposure
+            circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        mild = NoisySimulator(NoiseModel.uniform(two_qubit=0.01, readout=0.01), seed=5)
+        harsh = NoisySimulator(NoiseModel.uniform(two_qubit=0.10, readout=0.05), seed=5)
+        ok_mild = mild.run(circuit, shots=600)
+        ok_harsh = harsh.run(circuit, shots=600)
+        good = {"00", "11"}
+        mild_rate = sum(v for k, v in ok_mild.items() if k in good)
+        harsh_rate = sum(v for k, v in ok_harsh.items() if k in good)
+        assert harsh_rate < mild_rate
+
+    def test_from_backend(self):
+        from repro.backends import FakeMelbourne
+
+        model = NoiseModel.from_backend(FakeMelbourne())
+        assert model.gate_error((0, 1)) > 0
+        assert model.readout_flip_probabilities(0)[0] > 0

@@ -1,0 +1,264 @@
+"""Tests for the standard transpiler passes."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.transpiler.passmanager import PropertySet
+from repro.transpiler.passes import (
+    CommutativeCancellation,
+    ConsolidateBlocks,
+    CXCancellation,
+    Optimize1qGates,
+    RemoveDiagonalGatesBeforeMeasure,
+    Unroller,
+)
+
+from tests.helpers import assert_unitarily_equal
+
+
+def run_pass(pass_, circuit):
+    return pass_.run(circuit, PropertySet())
+
+
+class TestUnroller:
+    def test_lowers_to_basis(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.ccx(0, 1, 2)
+        circuit.swap(0, 2)
+        out = run_pass(Unroller(), circuit)
+        assert set(out.count_ops()) <= {"u1", "u2", "u3", "id", "cx"}
+
+    def test_preserves_unitary(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.ccx(0, 1, 2)
+        circuit.cswap(0, 1, 2)
+        circuit.rz(0.3, 1)
+        circuit.swap(1, 2)
+        out = run_pass(Unroller(), circuit)
+        assert_unitarily_equal(circuit, out)
+
+    def test_keeps_requested_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        circuit.swapz(0, 1)
+        out = run_pass(Unroller(("u1", "u2", "u3", "cx", "swap", "swapz")), circuit)
+        assert out.count_ops() == {"swap": 1, "swapz": 1}
+
+    def test_mcu1_gray_code(self):
+        circuit = QuantumCircuit(4)
+        from repro.gates import MCU1Gate
+
+        circuit.append(MCU1Gate(0.7, 3), (0, 1, 2, 3))
+        out = run_pass(Unroller(), circuit)
+        assert set(out.count_ops()) <= {"u1", "u2", "u3", "cx"}
+        assert_unitarily_equal(circuit, out)
+
+    def test_unitary_gate_synthesis(self):
+        from repro.gates import UnitaryGate
+        from repro.linalg.random import random_unitary
+
+        circuit = QuantumCircuit(2)
+        circuit.append(UnitaryGate(random_unitary(4, 0)), (0, 1))
+        out = run_pass(Unroller(), circuit)
+        assert set(out.count_ops()) <= {"u1", "u2", "u3", "cx"}
+        assert_unitarily_equal(circuit, out)
+
+    def test_measure_and_directives_pass_through(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.annotate_zero(0)
+        circuit.barrier()
+        circuit.measure(0, 0)
+        out = run_pass(Unroller(), circuit)
+        assert out.count_ops() == {"annot": 1, "barrier": 1, "measure": 1}
+
+
+class TestOptimize1q:
+    def test_merges_run(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.t(0)
+        circuit.h(0)
+        circuit.s(0)
+        out = run_pass(Optimize1qGates(), circuit)
+        assert out.size() == 1
+        assert_unitarily_equal(circuit, out)
+
+    def test_cancels_to_identity(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.h(0)
+        out = run_pass(Optimize1qGates(), circuit)
+        assert out.size() == 0
+
+    def test_diagonal_becomes_u1(self):
+        circuit = QuantumCircuit(1)
+        circuit.t(0)
+        circuit.s(0)
+        out = run_pass(Optimize1qGates(), circuit)
+        assert out.count_ops() == {"u1": 1}
+        assert_unitarily_equal(circuit, out)
+
+    def test_pi_half_becomes_u2(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        out = run_pass(Optimize1qGates(), circuit)
+        assert out.count_ops() == {"u2": 1}
+
+    def test_cx_fences_runs(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(0)
+        out = run_pass(Optimize1qGates(), circuit)
+        assert out.count_ops()["u2"] == 2
+        assert_unitarily_equal(circuit, out)
+
+    def test_annotation_fences_runs(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.annotate(0, 1.0, 0.5)
+        circuit.h(0)
+        out = run_pass(Optimize1qGates(), circuit)
+        assert out.count_ops()["u2"] == 2
+
+    def test_phase_tracked(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.8, 0)
+        circuit.rx(0.2, 0)
+        out = run_pass(Optimize1qGates(), circuit)
+        assert_unitarily_equal(circuit, out)
+
+
+class TestCancellation:
+    def test_cx_pair_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        out = run_pass(CXCancellation(), circuit)
+        assert out.size() == 0
+
+    def test_different_direction_kept(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        out = run_pass(CXCancellation(), circuit)
+        assert out.count_ops()["cx"] == 2
+
+    def test_interposed_gate_blocks(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        circuit.cx(0, 1)
+        out = run_pass(CXCancellation(), circuit)
+        assert out.count_ops()["cx"] == 2
+
+    def test_cz_symmetric_cancel(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        circuit.cz(1, 0)
+        out = run_pass(CXCancellation(), circuit)
+        assert out.size() == 0
+
+    def test_swap_pair_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        circuit.swap(1, 0)
+        out = run_pass(CXCancellation(), circuit)
+        assert out.size() == 0
+
+    def test_commutative_through_control(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.u1(0.3, 0)  # diagonal on control commutes
+        circuit.cx(0, 1)
+        out = run_pass(CommutativeCancellation(), circuit)
+        assert out.count_ops().get("cx", 0) == 0
+        assert_unitarily_equal(circuit, out)
+
+    def test_commutative_through_shared_target(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        circuit.cx(1, 2)  # shares target: commutes
+        circuit.cx(0, 2)
+        out = run_pass(CommutativeCancellation(), circuit)
+        assert out.count_ops()["cx"] == 1
+        assert_unitarily_equal(circuit, out)
+
+    def test_commutative_blocked_by_h(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        out = run_pass(CommutativeCancellation(), circuit)
+        assert out.count_ops()["cx"] == 2
+
+
+class TestConsolidate:
+    def test_merges_cx_ladder(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(0.3, 1)
+        circuit.cx(0, 1)
+        circuit.rx(0.2, 0)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        out = run_pass(ConsolidateBlocks(), circuit)
+        assert out.count_ops().get("cx", 0) <= 2
+        assert_unitarily_equal(circuit, out)
+
+    def test_swap_cx_block_melts(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        circuit.cx(0, 1)
+        out = run_pass(ConsolidateBlocks(), circuit)
+        # swap+cx is a 2-CNOT class block
+        total = sum(
+            {"cx": 1, "swap": 3, "swapz": 2}.get(name, 0) * count
+            for name, count in out.count_ops().items()
+        )
+        assert total <= 2
+        assert_unitarily_equal(circuit, out)
+
+    def test_keeps_unprofitable_blocks(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        out = run_pass(ConsolidateBlocks(), circuit)
+        assert out.count_ops() == {"cx": 1}
+
+    def test_measure_fences_block(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.cx(0, 1)
+        circuit.measure(1, 0)
+        circuit.cx(0, 1)
+        out = run_pass(ConsolidateBlocks(), circuit)
+        assert out.count_ops()["cx"] == 2
+
+    def test_preserves_unitary_random(self):
+        from tests.helpers import random_circuit
+
+        for seed in range(5):
+            circuit = random_circuit(3, 25, seed=seed, gate_set="simple")
+            out = run_pass(ConsolidateBlocks(), circuit)
+            assert_unitarily_equal(circuit, out)
+
+
+class TestRemoveDiagonal:
+    def test_removes_before_measure(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.t(0)
+        circuit.rz(0.3, 0)
+        circuit.measure(0, 0)
+        out = run_pass(RemoveDiagonalGatesBeforeMeasure(), circuit)
+        assert out.count_ops() == {"h": 1, "measure": 1}
+
+    def test_keeps_non_diagonal(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.t(0)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        out = run_pass(RemoveDiagonalGatesBeforeMeasure(), circuit)
+        assert out.count_ops() == {"t": 1, "h": 1, "measure": 1}
