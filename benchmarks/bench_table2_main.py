@@ -16,7 +16,10 @@ from repro.algorithms import (
 )
 from repro.backends import FakeMelbourne
 
-from .common import FULL, run_once, transpile_stats
+try:
+    from .common import FULL, print_table, run_once, transpile_stats
+except ImportError:  # executed as a script: benchmarks/ is on sys.path
+    from common import FULL, print_table, run_once, transpile_stats
 
 SIZES = [4, 6, 8, 10, 12, 14] if FULL else [4, 6, 8]
 CONFIG_NAMES = ["level3", "hoare", "rpo"]
@@ -53,3 +56,47 @@ def test_table2(benchmark, melbourne, workload, num_qubits, config):
     benchmark.extra_info.update(
         {"workload": workload, "qubits": num_qubits, "config": config, **stats}
     )
+
+
+def main(argv=None):
+    """Script entry point; ``--quick`` runs a CI smoke subset (one size,
+    one seed per configuration)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: 4-qubit workloads, a single routing seed",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [4] if args.quick else SIZES
+    num_seeds = 1 if args.quick else None
+    backend = FakeMelbourne()
+    rows = []
+    for workload in ("qpe", "vqe", "qv", "grover"):
+        for num_qubits in sizes:
+            circuit = make_workload(workload, num_qubits)
+            for config in CONFIG_NAMES:
+                stats = transpile_stats(config, circuit, backend, num_seeds=num_seeds)
+                rows.append(
+                    [
+                        workload,
+                        num_qubits,
+                        config,
+                        stats["cx"],
+                        stats["1q"],
+                        stats["depth"],
+                        f"{stats['time'] * 1000:.1f}ms",
+                    ]
+                )
+    print_table(
+        "Table II (melbourne)",
+        ["workload", "qubits", "config", "cx", "1q", "depth", "time"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

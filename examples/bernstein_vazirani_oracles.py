@@ -8,12 +8,10 @@ producing exactly the hand-optimized phase-oracle design.  Standard
 unitary-preserving optimization (level 3) cannot do this.
 """
 
+from repro import transpile
 from repro.algorithms import bernstein_vazirani_boolean, bernstein_vazirani_phase
 from repro.backends import FakeMelbourne
-from repro.rpo import rpo_pass_manager
 from repro.simulators import StatevectorSimulator
-from repro.transpiler import level_3_pass_manager
-from repro.transpiler.passmanager import PropertySet
 
 
 def main():
@@ -24,22 +22,16 @@ def main():
     boolean = bernstein_vazirani_boolean(num_qubits, secret)
     phase = bernstein_vazirani_phase(num_qubits, secret)
 
-    def transpile(circuit, factory):
-        pm = factory(
-            backend.coupling_map, backend_properties=backend.properties, seed=0
-        )
-        return pm.run(circuit.copy(), PropertySet())
-
     print(f"secret = {secret:0{num_qubits}b}\n")
     for label, circuit in [("boolean oracle", boolean), ("phase oracle", phase)]:
-        level3 = transpile(circuit, level_3_pass_manager)
-        rpo = transpile(circuit, rpo_pass_manager)
+        level3 = transpile(circuit.copy(), backend=backend, pipeline="level3", seed=0)
+        rpo = transpile(circuit.copy(), backend=backend, pipeline="rpo", seed=0)
         print(f"{label}:")
         print(f"  level 3: {level3.count_ops().get('cx', 0):3d} CNOTs")
         print(f"  RPO    : {rpo.count_ops().get('cx', 0):3d} CNOTs")
 
     # verify the optimized boolean design still finds the secret
-    rpo = transpile(boolean, rpo_pass_manager)
+    rpo = transpile(boolean.copy(), backend=backend, pipeline="rpo", seed=0)
     counts = StatevectorSimulator(seed=2).run(rpo, shots=500)
     print(f"\nmost frequent outcome: {counts.most_frequent()} "
           f"(expected {secret:0{num_qubits}b})")

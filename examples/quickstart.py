@@ -4,16 +4,43 @@
 Demonstrates the core API surface:
 
 * building circuits with :class:`repro.circuit.QuantumCircuit`;
-* applying the paper's QBO/QPO passes directly;
-* running the full level-3 vs RPO pipelines against a fake device;
+* applying the paper's QBO pass directly;
+* the public ``transpile()`` front-end -- one entry point for the preset
+  levels, the RPO pipelines and the Hoare baseline, for single circuits
+  and for batches;
 * simulating the results to confirm they agree.
+
+Transpile API
+-------------
+
+``repro.transpile`` accepts a single circuit or a batch::
+
+    from repro import transpile
+
+    compiled = transpile(circuit, backend=backend, pipeline="rpo", seed=0)
+
+    # batches fan out across a worker pool and share one AnalysisCache,
+    # so repeated workloads skip most matrix constructions
+    compiled_batch = transpile(
+        [circuit_a, circuit_b, circuit_c],
+        backend=backend,
+        pipeline="rpo",
+        seed=[0, 1, 2],
+    )
+
+    # full_result=True returns TranspileResult objects carrying the
+    # property set and structured per-pass metrics (time, gate/depth
+    # delta, rewrites applied, fixed-point loop iterations)
+    result = transpile(circuit, backend=backend, pipeline="rpo",
+                       full_result=True)
+    print(result.metrics[0], result.loops)
 """
 
+from repro import transpile
 from repro.circuit import QuantumCircuit
 from repro.backends import FakeMelbourne
-from repro.rpo import QBOPass, rpo_pass_manager
+from repro.rpo import QBOPass
 from repro.simulators import StatevectorSimulator
-from repro.transpiler import level_3_pass_manager
 from repro.transpiler.passmanager import PropertySet
 
 
@@ -35,16 +62,30 @@ def main():
     print("\nafter QBO alone:", qbo.count_ops())
 
     backend = FakeMelbourne()
-    level3 = level_3_pass_manager(
-        backend.coupling_map, backend_properties=backend.properties, seed=0
-    ).run(circuit.copy(), PropertySet())
-    rpo = rpo_pass_manager(
-        backend.coupling_map, backend_properties=backend.properties, seed=0
-    ).run(circuit.copy(), PropertySet())
+
+    # one front-end for every pipeline
+    level3 = transpile(circuit.copy(), backend=backend, optimization_level=3, seed=0)
+    rpo_result = transpile(
+        circuit.copy(), backend=backend, pipeline="rpo", seed=0, full_result=True
+    )
+    rpo = rpo_result.circuit
 
     print(f"\nlevel 3: {level3.count_ops().get('cx', 0)} CNOTs, "
           f"depth {level3.depth()}")
     print(f"RPO    : {rpo.count_ops().get('cx', 0)} CNOTs, depth {rpo.depth()}")
+    loop = rpo_result.loops[0]
+    print(f"RPO fixed-point loop: {loop.iterations} iterations, "
+          f"converged={loop.converged}")
+
+    # batched transpile: the seeds run concurrently and share one
+    # AnalysisCache, so the repeats construct almost no new matrices
+    batch = transpile(
+        [circuit.copy() for _ in range(3)],
+        backend=backend,
+        pipeline="rpo",
+        seed=[0, 1, 2],
+    )
+    print("batched CNOT counts:", [c.count_ops().get("cx", 0) for c in batch])
 
     simulator = StatevectorSimulator(seed=1)
     print("\nlevel3 counts:", dict(simulator.run(level3, shots=1000)))

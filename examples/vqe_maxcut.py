@@ -5,11 +5,9 @@ Runs the full variational loop on a small graph, then shows what RPO saves
 when the optimized ansatz is compiled for a device.
 """
 
+from repro import transpile
 from repro.algorithms import ry_ansatz, vqe_maxcut
 from repro.backends import FakeMelbourne
-from repro.rpo import rpo_pass_manager
-from repro.transpiler import level_3_pass_manager
-from repro.transpiler.passmanager import PropertySet
 
 
 def main():
@@ -25,16 +23,10 @@ def main():
 
     ansatz = ry_ansatz(num_qubits, depth=2, parameters=parameters, measure=True)
     backend = FakeMelbourne()
-    for label, pipeline in (
-        ("level3", level_3_pass_manager),
-        ("rpo", rpo_pass_manager),
-    ):
-        pm = pipeline(
-            backend.coupling_map, backend_properties=backend.properties, seed=0
-        )
-        compiled = pm.run(ansatz.copy(), PropertySet())
+    for pipeline in ("level3", "rpo"):
+        compiled = transpile(ansatz.copy(), backend=backend, pipeline=pipeline, seed=0)
         print(
-            f"{label:7s}: {compiled.count_ops().get('cx', 0):3d} CNOTs, "
+            f"{pipeline:7s}: {compiled.count_ops().get('cx', 0):3d} CNOTs, "
             f"depth {compiled.depth()}"
         )
 

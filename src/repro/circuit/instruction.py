@@ -23,6 +23,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["Instruction", "Gate", "ControlledGate"]
 
+_STANDARD_MATRIX_LOOKUP = None
+
+
+def _standard_matrix(name: str):
+    """Shared immutable matrix of a fixed standard gate, or ``None``.
+
+    Resolved lazily because :mod:`repro.gates.matrices` sits above this
+    module in the import graph.
+    """
+    global _STANDARD_MATRIX_LOOKUP
+    if _STANDARD_MATRIX_LOOKUP is None:
+        from repro.gates.matrices import standard_gate_matrix
+
+        _STANDARD_MATRIX_LOOKUP = standard_gate_matrix
+    return _STANDARD_MATRIX_LOOKUP(name)
+
 
 class Instruction:
     """A generic circuit operation.
@@ -133,7 +149,10 @@ class Gate(Instruction):
     def to_matrix(self) -> np.ndarray:
         """Unitary matrix, little-endian in the gate's qubit arguments.
 
-        Falls back to multiplying out the definition circuit.
+        Fixed standard gates return a *shared, read-only* array (see
+        :mod:`repro.gates.matrices`); callers must not mutate the result
+        -- take a ``.copy()`` first.  Falls back to multiplying out the
+        definition circuit.
         """
         defn = self.definition
         if defn is None:
@@ -194,6 +213,10 @@ class ControlledGate(Gate):
         self.ctrl_state = int(ctrl_state)
 
     def to_matrix(self) -> np.ndarray:
+        if self.ctrl_state == (1 << self.num_ctrl_qubits) - 1:
+            shared = _standard_matrix(self.name)
+            if shared is not None and shared.shape == (2**self.num_qubits,) * 2:
+                return shared
         base = self.base_gate.to_matrix()
         n_ctrl = self.num_ctrl_qubits
         n_base = self.base_gate.num_qubits

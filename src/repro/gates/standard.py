@@ -13,6 +13,7 @@ import math
 import numpy as np
 
 from repro.circuit.instruction import Gate
+from repro.gates.matrices import standard_gate_matrix
 
 __all__ = [
     "IGate",
@@ -55,7 +56,7 @@ class IGate(Gate):
         super().__init__("id", 1)
 
     def to_matrix(self):
-        return np.eye(2, dtype=complex)
+        return standard_gate_matrix("id")
 
     def inverse(self):
         return IGate()
@@ -68,7 +69,7 @@ class XGate(Gate):
         super().__init__("x", 1)
 
     def to_matrix(self):
-        return np.array([[0, 1], [1, 0]], dtype=complex)
+        return standard_gate_matrix("x")
 
     def inverse(self):
         return XGate()
@@ -84,7 +85,7 @@ class YGate(Gate):
         super().__init__("y", 1)
 
     def to_matrix(self):
-        return np.array([[0, -1j], [1j, 0]], dtype=complex)
+        return standard_gate_matrix("y")
 
     def inverse(self):
         return YGate()
@@ -100,7 +101,7 @@ class ZGate(Gate):
         super().__init__("z", 1)
 
     def to_matrix(self):
-        return np.array([[1, 0], [0, -1]], dtype=complex)
+        return standard_gate_matrix("z")
 
     def inverse(self):
         return ZGate()
@@ -116,7 +117,7 @@ class HGate(Gate):
         super().__init__("h", 1)
 
     def to_matrix(self):
-        return np.array([[_SQRT2, _SQRT2], [_SQRT2, -_SQRT2]], dtype=complex)
+        return standard_gate_matrix("h")
 
     def inverse(self):
         return HGate()
@@ -137,7 +138,7 @@ class SGate(Gate):
         super().__init__("s", 1)
 
     def to_matrix(self):
-        return np.array([[1, 0], [0, 1j]], dtype=complex)
+        return standard_gate_matrix("s")
 
     def inverse(self):
         return SdgGate()
@@ -153,7 +154,7 @@ class SdgGate(Gate):
         super().__init__("sdg", 1)
 
     def to_matrix(self):
-        return np.array([[1, 0], [0, -1j]], dtype=complex)
+        return standard_gate_matrix("sdg")
 
     def inverse(self):
         return SGate()
@@ -169,7 +170,7 @@ class TGate(Gate):
         super().__init__("t", 1)
 
     def to_matrix(self):
-        return np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+        return standard_gate_matrix("t")
 
     def inverse(self):
         return TdgGate()
@@ -185,7 +186,7 @@ class TdgGate(Gate):
         super().__init__("tdg", 1)
 
     def to_matrix(self):
-        return np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex)
+        return standard_gate_matrix("tdg")
 
     def inverse(self):
         return TGate()
@@ -201,9 +202,7 @@ class SXGate(Gate):
         super().__init__("sx", 1)
 
     def to_matrix(self):
-        return 0.5 * np.array(
-            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
-        )
+        return standard_gate_matrix("sx")
 
     def inverse(self):
         from repro.gates.unitary import UnitaryGate

@@ -13,6 +13,7 @@ import math
 import numpy as np
 
 from repro.circuit.instruction import ControlledGate, Gate
+from repro.gates.matrices import standard_gate_matrix
 from repro.gates.parametric import RYGate, RZGate, U1Gate, U3Gate
 from repro.gates.standard import HGate, SdgGate, SGate, TdgGate, TGate, XGate, YGate, ZGate
 
@@ -229,9 +230,7 @@ class SwapGate(Gate):
         super().__init__("swap", 2)
 
     def to_matrix(self):
-        return np.array(
-            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
-        )
+        return standard_gate_matrix("swap")
 
     def inverse(self):
         return SwapGate()
@@ -257,14 +256,7 @@ class SwapZGate(Gate):
         super().__init__("swapz", 2)
 
     def to_matrix(self):
-        # time order: cx(1,0) then cx(0,1)
-        cx_10 = np.array(
-            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
-        )
-        cx_01 = np.array(
-            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
-        )
-        return cx_01 @ cx_10
+        return standard_gate_matrix("swapz")
 
     def inverse(self):
         from repro.gates.unitary import UnitaryGate
@@ -285,9 +277,7 @@ class ISwapGate(Gate):
         super().__init__("iswap", 2)
 
     def to_matrix(self):
-        return np.array(
-            [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
-        )
+        return standard_gate_matrix("iswap")
 
     def inverse(self):
         from repro.gates.unitary import UnitaryGate

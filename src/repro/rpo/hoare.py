@@ -27,10 +27,13 @@ slower than the automaton-based QBO, reproducing the paper's timing gap.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.circuit.instruction import ControlledGate
 from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.transpiler.cache import AnalysisCache
 from repro.transpiler.passmanager import PropertySet, TransformationPass
 
 __all__ = ["HoareOptimizer"]
@@ -69,6 +72,9 @@ class HoareOptimizer(TransformationPass):
     def __init__(self, max_support: int = 64, max_cluster: int = 16):
         self.max_support = max_support
         self.max_cluster = max_cluster
+        # per-run state on a thread-local: concurrent runs of one pass
+        # instance must not interleave
+        self._run_state = threading.local()
 
     @property
     def name(self) -> str:
@@ -76,8 +82,17 @@ class HoareOptimizer(TransformationPass):
 
     # ------------------------------------------------------------------
 
+    @property
+    def _cache(self) -> AnalysisCache:
+        return self._run_state.cache
+
+    @property
+    def _cluster_of(self) -> dict[int, "_Cluster"]:
+        return self._run_state.cluster_of
+
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        self._cluster_of: dict[int, _Cluster] = {
+        self._run_state.cache = AnalysisCache.ensure(property_set)
+        self._run_state.cluster_of = {
             q: _Cluster((q,), {0}) for q in range(circuit.num_qubits)
         }
         output = circuit.copy_empty_like()
@@ -170,7 +185,7 @@ class HoareOptimizer(TransformationPass):
         import cmath
 
         base = operation.base_gate
-        matrix = base.to_matrix()
+        matrix = self._cache.matrix(base)
         if abs(matrix[0, 1]) > 1e-12 or abs(matrix[1, 0]) > 1e-12:
             return False  # not diagonal
         target = qubits[operation.num_ctrl_qubits]
@@ -295,7 +310,7 @@ class HoareOptimizer(TransformationPass):
             self._apply_vchain(operation, qubits)
             return
         if operation.num_qubits <= 3:
-            matrix = operation.to_matrix()
+            matrix = self._cache.matrix(operation)
             monomial = self._monomial_permutation(matrix)
             if monomial is not None:
                 self._apply_permutation(qubits, monomial)

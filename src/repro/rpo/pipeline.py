@@ -20,6 +20,32 @@ the paper's *reduced* transpile times despite extra passes); the second QBO
 targets the routing-inserted SWAPs; QPO runs once outside the fixed-point
 loop because the loop's optimizations preserve the state invariants
 (Sec. VII-A).
+
+Scheduler and cache architecture
+--------------------------------
+
+These factories return plain schedules; the execution semantics live in
+:class:`repro.transpiler.passmanager.PassManager`, which is
+requirements/preserves-aware: passes declare ``requires``/``provides``/
+``preserves``/``invalidates``, the manager skips analysis passes whose
+results are still valid (including after structurally-unchanged
+transformations, which short-circuits the tail of the Fig. 8 fixed-point
+loop), and every run returns a
+:class:`~repro.transpiler.passmanager.TranspileResult` with per-pass and
+per-loop-iteration metrics -- the paper's transpile-time mechanism made
+observable per run.
+
+All passes share one :class:`~repro.transpiler.cache.AnalysisCache`
+(memoized gate matrices, the ``same_pair_adjacent_indices`` adjacency map
+that guards the SWAP rewrites, per-wire index views): QBO and QPO hit the
+same adjacency entry, and the state trackers, 1q fusion and block
+consolidation resolve repeated gates to one matrix construction.  Callers
+wanting cross-run sharing (the serving path) go through
+:func:`repro.transpiler.frontend.transpile`, which batches circuits over a
+worker pool around one shared cache.
+
+Prefer ``transpile(circuit, backend=..., pipeline="rpo")`` over wiring
+these factories by hand.
 """
 
 from __future__ import annotations

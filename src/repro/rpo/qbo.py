@@ -36,6 +36,7 @@ eliminated) resolve in one sweep.
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
@@ -56,6 +57,7 @@ from repro.gates import (
 )
 from repro.rpo.basis_tracker import BasisStateTracker
 from repro.rpo.states import BasisState, eigenphase_if_fixed, preparation_matrices
+from repro.transpiler.cache import AnalysisCache, rewrite_counter
 from repro.transpiler.passmanager import PropertySet, TransformationPass
 
 __all__ = ["QBOPass"]
@@ -82,21 +84,37 @@ class QBOPass(TransformationPass):
 
     def __init__(self, general_eigenphase: bool = False):
         self.general_eigenphase = general_eigenphase
+        # per-run state lives on a thread-local so concurrent runs of one
+        # pass instance (e.g. one PassManager driven from several threads)
+        # cannot interleave
+        self._run_state = threading.local()
 
     @property
     def name(self) -> str:
         return "QBO"
 
-    def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        from repro.rpo.adjacency import same_pair_adjacent_indices
+    @property
+    def _cache(self) -> AnalysisCache:
+        return self._run_state.cache
 
+    @property
+    def _swapz_profitable(self) -> bool:
+        return getattr(self._run_state, "swapz_profitable", True)
+
+    def _count_rewrite(self) -> None:
+        self._run_state.rewrites[self.name] += 1
+
+    def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        state = self._run_state
+        state.cache = AnalysisCache.ensure(property_set)
+        state.rewrites = rewrite_counter(property_set)
         tracker = BasisStateTracker(circuit.num_qubits)
         output = circuit.copy_empty_like()
-        blocked = same_pair_adjacent_indices(circuit)
+        blocked = state.cache.same_pair_adjacency(circuit)
         for index, instruction in enumerate(circuit.data):
             # SWAPs that would consolidate with a same-pair neighbour are
             # better left to the unitary re-synthesis (see rpo.adjacency)
-            self._swapz_profitable = index not in blocked
+            state.swapz_profitable = index not in blocked
             self._process(
                 instruction.operation,
                 instruction.qubits,
@@ -104,7 +122,7 @@ class QBOPass(TransformationPass):
                 tracker,
                 output,
             )
-        self._swapz_profitable = True
+        state.swapz_profitable = True
         return output
 
     # ------------------------------------------------------------------
@@ -160,11 +178,12 @@ class QBOPass(TransformationPass):
     # -- one-qubit gates (Eq. 7) ----------------------------------------
 
     def _process_1q(self, operation, qubit, tracker, output) -> None:
-        matrix = operation.to_matrix()
+        matrix = self._cache.matrix(operation)
         phase = eigenphase_if_fixed(tracker.state(qubit), matrix)
         if phase is not None:
             # the qubit is unentangled and fixed by the gate: global phase
             output.global_phase += phase
+            self._count_rewrite()
             return
         tracker.apply_1q_gate(qubit, matrix)
         output.append(operation, (qubit,))
@@ -185,7 +204,9 @@ class QBOPass(TransformationPass):
             if state.is_z_basis:
                 actual = 0 if state is BasisState.ZERO else 1
                 if actual != required:
-                    return  # the gate can never fire: remove (Table I / Eq. 8)
+                    # the gate can never fire: remove (Table I / Eq. 8)
+                    self._count_rewrite()
+                    return
                 continue  # always satisfied: drop this control
             remaining.append(control)
             remaining_state_bits.append(required)
@@ -196,13 +217,14 @@ class QBOPass(TransformationPass):
             self._process(base, (target,), (), tracker, output)
             return
 
-        base_matrix = base.to_matrix()
+        base_matrix = self._cache.matrix(base)
         alpha = eigenphase_if_fixed(tracker.state(target), base_matrix)
         if alpha is not None:
             # target is an eigenstate: the gate is a pure controlled phase
             # on the remaining controls (Sec. V-C)
             folded = math.remainder(alpha, 2 * math.pi)
             if _is_trivial_phase(alpha):
+                self._count_rewrite()
                 return  # eigenvalue +1: remove (|psi+> rule)
             if abs(abs(folded) - math.pi) < _PHASE_ATOL:
                 # eigenvalue -1: (multi-)controlled Z (|psi-> rule)
@@ -316,9 +338,7 @@ class QBOPass(TransformationPass):
                 UnitaryGate(v.conj().T, label="qbo_vdg"), (b,), (), tracker, output
             )
             return
-        if (state_a.is_known or state_b.is_known) and getattr(
-            self, "_swapz_profitable", True
-        ):
+        if (state_a.is_known or state_b.is_known) and self._swapz_profitable:
             # Eqs. 4-5: reduce to SWAPZ with basis-prep brackets
             zero_q, other = (a, b) if state_a.is_known else (b, a)
             known = tracker.state(zero_q)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import cmath
 import math
+import threading
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from repro.circuit.quantumcircuit import CircuitInstruction, QuantumCircuit
 from repro.gates import CXGate, SwapGate, SwapZGate, UnitaryGate, XGate, ZGate
 from repro.rpo.pure_tracker import PureStateTracker
 from repro.rpo.states import BasisState
+from repro.transpiler.cache import AnalysisCache, rewrite_counter
 from repro.transpiler.passmanager import PropertySet, TransformationPass
 
 __all__ = ["QPOPass"]
@@ -46,12 +48,29 @@ class QPOPass(TransformationPass):
 
     def __init__(self, optimize_blocks: bool = True):
         self.optimize_blocks = optimize_blocks
+        # per-run state on a thread-local: concurrent runs of one pass
+        # instance must not interleave
+        self._run_state = threading.local()
 
     @property
     def name(self) -> str:
         return "QPO"
 
+    @property
+    def _cache(self) -> AnalysisCache:
+        return self._run_state.cache
+
+    @property
+    def _swapz_profitable(self) -> bool:
+        return getattr(self._run_state, "swapz_profitable", True)
+
+    def _count_rewrite(self) -> None:
+        self._run_state.rewrites[self.name] += 1
+
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        state = self._run_state
+        state.cache = AnalysisCache.ensure(property_set)
+        state.rewrites = rewrite_counter(property_set)
         rewritten = self._rewrite_gates(circuit)
         if self.optimize_blocks:
             rewritten = self._rewrite_blocks(rewritten)
@@ -62,18 +81,16 @@ class QPOPass(TransformationPass):
     # ==================================================================
 
     def _rewrite_gates(self, circuit: QuantumCircuit) -> QuantumCircuit:
-        from repro.rpo.adjacency import same_pair_adjacent_indices
-
         tracker = PureStateTracker(circuit.num_qubits)
         output = circuit.copy_empty_like()
-        blocked = same_pair_adjacent_indices(circuit)
+        blocked = self._cache.same_pair_adjacency(circuit)
         for index, instruction in enumerate(circuit.data):
-            self._swapz_profitable = index not in blocked
+            self._run_state.swapz_profitable = index not in blocked
             self._process(
                 instruction.operation, instruction.qubits, instruction.clbits,
                 tracker, output,
             )
-        self._swapz_profitable = True
+        self._run_state.swapz_profitable = True
         return output
 
     def _process(self, operation, qubits, clbits, tracker, output) -> None:
@@ -119,12 +136,13 @@ class QPOPass(TransformationPass):
         output.append(operation, qubits, clbits)
 
     def _process_1q(self, operation, qubit, tracker, output) -> None:
-        matrix = operation.to_matrix()
+        matrix = self._cache.matrix(operation)
         if tracker.is_known(qubit):
             vector = tracker.statevector(qubit)
             overlap = np.vdot(vector, matrix @ vector)
             if abs(abs(overlap) - 1.0) < 1e-9:
                 output.global_phase += cmath.phase(overlap)
+                self._count_rewrite()
                 return
         tracker.apply_1q_gate(qubit, matrix)
         output.append(operation, (qubit,))
@@ -144,7 +162,7 @@ class QPOPass(TransformationPass):
                 UnitaryGate(v.conj().T, label="qpo_vdg"), (b,), (), tracker, output
             )
             return
-        if (known_a or known_b) and getattr(self, "_swapz_profitable", True):
+        if (known_a or known_b) and self._swapz_profitable:
             # Eq. 5: transform the known state to |0>, SWAPZ, restore
             pure_q, other = (a, b) if known_a else (b, a)
             prep = tracker.preparation_matrix(pure_q)
@@ -317,7 +335,7 @@ class QPOPass(TransformationPass):
         elif name == "barrier":
             pass
         elif operation.is_gate() and operation.num_qubits == 1:
-            tracker.apply_1q_gate(qubits[0], operation.to_matrix())
+            tracker.apply_1q_gate(qubits[0], self._cache.matrix(operation))
         elif name == "swap":
             tracker.apply_swap(*qubits)
         elif name == "swapz" and tracker.is_known(qubits[0]) and _is_zero_state(
@@ -347,7 +365,7 @@ class QPOPass(TransformationPass):
         psi_low = u3_matrix(*input_states[0], 0.0)[:, 0]
         psi_high = u3_matrix(*input_states[1], 0.0)[:, 0]
         input_vector = np.kron(psi_high, psi_low)  # little-endian: high wire = MSB
-        output_vector = block.matrix() @ input_vector
+        output_vector = block.matrix(self._cache) @ input_vector
 
         prep = two_qubit_state_prep_circuit(output_vector)
         new_2q = prep.num_nonlocal_gates()
@@ -355,6 +373,7 @@ class QPOPass(TransformationPass):
             for instruction in block.instructions:
                 self._track_and_emit(instruction, tracker, output)
             return
+        self._count_rewrite()
         # replacement must act on |00>: undo the known input states first
         undo_low = u3_matrix(*input_states[0], 0.0).conj().T
         undo_high = u3_matrix(*input_states[1], 0.0).conj().T
@@ -391,12 +410,12 @@ class _PureBlock:
         if len(instruction.qubits) == 2:
             self.num_2q += 1
 
-    def matrix(self) -> np.ndarray:
+    def matrix(self, cache: AnalysisCache) -> np.ndarray:
         wire_of = {self.pair[0]: 0, self.pair[1]: 1}
         matrix = np.eye(4, dtype=complex)
         for instruction in self.instructions:
             local = tuple(wire_of[q] for q in instruction.qubits)
-            matrix = embed_gate(instruction.operation.to_matrix(), local, 2) @ matrix
+            matrix = embed_gate(cache.matrix(instruction.operation), local, 2) @ matrix
         return matrix
 
 

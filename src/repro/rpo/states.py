@@ -117,12 +117,37 @@ def bloch_of_basis_state(state: BasisState) -> np.ndarray:
     return vector
 
 
+#: Signed-axis lookup ``(axis, sign) -> state`` -- the enum values are
+#: exactly these pairs, so classification is a dominant-axis test plus one
+#: dictionary probe instead of a scan over all six reference vectors.
+_STATE_OF_SIGNED_AXIS = {
+    state.value: state for state in BasisState if state is not BasisState.TOP
+}
+
+_RTOL = 1e-5  # matches the np.allclose default the scan-based version used
+
+
 def basis_state_of_bloch(vector: np.ndarray, atol: float = 1e-8) -> BasisState:
-    """Classify a Bloch vector as a basis state, or ``TOP``."""
-    for state in _STATEVECTORS:
-        reference = bloch_of_basis_state(state)
-        if np.allclose(vector, reference, atol=atol):
-            return state
+    """Classify a Bloch vector as a basis state, or ``TOP``.
+
+    A Bloch vector is a basis state exactly when it sits on a signed
+    coordinate axis, so only the dominant component needs checking.
+    """
+    v0, v1, v2 = float(vector[0]), float(vector[1]), float(vector[2])
+    a0, a1, a2 = abs(v0), abs(v1), abs(v2)
+    if a0 >= a1 and a0 >= a2:
+        axis, dominant, rest_a, rest_b = 0, v0, a1, a2
+    elif a1 >= a2:
+        axis, dominant, rest_a, rest_b = 1, v1, a0, a2
+    else:
+        axis, dominant, rest_a, rest_b = 2, v2, a0, a1
+    sign = 1 if dominant >= 0 else -1
+    if (
+        abs(dominant - sign) <= atol + _RTOL
+        and rest_a <= atol
+        and rest_b <= atol
+    ):
+        return _STATE_OF_SIGNED_AXIS[(axis, sign)]
     return TOP
 
 

@@ -1,27 +1,37 @@
-"""The transpiler: pass-manager framework, standard passes, preset levels.
+"""The transpiler: scheduler framework, shared analysis cache, passes,
+preset levels, and the public ``transpile()`` front-end.
 
-The preset pipelines mirror Qiskit 0.18's optimization levels 0-3 (the
-baselines the paper compares against, Sec. II-B and Fig. 8):
+Layers, bottom to top:
 
-* level 0 -- map to the device, no optimization;
-* level 1 -- light optimization (adjacent-gate collapsing);
-* level 2 -- noise-aware layout + commutative cancellation;
-* level 3 -- level 2 plus two-qubit block re-synthesis (``Collect2qBlocks``
-  + ``ConsolidateBlocks``) in a fixed-point loop.
-
-The RPO pipeline (paper Fig. 8, underlined additions) lives in
-:mod:`repro.rpo` and reuses this infrastructure.
+* :mod:`repro.transpiler.passmanager` -- the requirements/preserves-aware
+  pass scheduler.  Passes declare what they require, provide, preserve and
+  invalidate; the manager skips analyses whose results are still valid and
+  returns structured per-pass metrics in a :class:`TranspileResult`.
+* :mod:`repro.transpiler.cache` -- the per-run :class:`AnalysisCache`
+  (memoized gate matrices, adjacency maps, DAG views) every pass shares;
+  share one cache across runs to amortise work over repeated workloads.
+* :mod:`repro.transpiler.preset` -- optimization levels 0-3 mirroring
+  Qiskit 0.18 (the baselines the paper compares against, Sec. II-B); the
+  RPO pipeline (paper Fig. 8, underlined additions) lives in
+  :mod:`repro.rpo` and reuses this infrastructure.
+* :mod:`repro.transpiler.frontend` -- the batched :func:`transpile` entry
+  point routing every pipeline (presets, RPO, Hoare) and dispatching
+  circuit batches across workers.
 """
 
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.layout import Layout
 from repro.transpiler.exceptions import TranspilerError
+from repro.transpiler.cache import AnalysisCache
 from repro.transpiler.passmanager import (
     AnalysisPass,
     BasePass,
     DoWhileController,
+    LoopMetrics,
     PassManager,
+    PassMetrics,
     PropertySet,
+    TranspileResult,
     TransformationPass,
 )
 from repro.transpiler.preset import (
@@ -30,23 +40,29 @@ from repro.transpiler.preset import (
     level_2_pass_manager,
     level_3_pass_manager,
     preset_pass_manager,
-    transpile,
 )
+from repro.transpiler.frontend import PIPELINES, pass_manager_for, transpile
 
 __all__ = [
     "CouplingMap",
     "Layout",
     "TranspilerError",
+    "AnalysisCache",
     "BasePass",
     "AnalysisPass",
     "TransformationPass",
     "PassManager",
     "PropertySet",
     "DoWhileController",
+    "PassMetrics",
+    "LoopMetrics",
+    "TranspileResult",
     "level_0_pass_manager",
     "level_1_pass_manager",
     "level_2_pass_manager",
     "level_3_pass_manager",
     "preset_pass_manager",
+    "PIPELINES",
+    "pass_manager_for",
     "transpile",
 ]

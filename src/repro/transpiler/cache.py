@@ -1,0 +1,262 @@
+"""Shared analysis cache for the pass scheduler.
+
+One :class:`AnalysisCache` instance rides along a pipeline run (stored in
+the property set under :attr:`AnalysisCache.PROPERTY_KEY`) and memoizes the
+derived data every pass otherwise recomputes from scratch:
+
+* **gate matrices** -- keyed by gate identity (name, parameters, control
+  state), so the thousands of ``to_matrix()`` requests the state trackers,
+  1q fusion and block consolidation issue per transpilation collapse to one
+  construction per distinct gate.  Parameter-free standard gates resolve
+  through the immutable module-level table in
+  :mod:`repro.gates.matrices` and never count as constructions at all.
+* **same-pair adjacency** (:func:`repro.rpo.adjacency.same_pair_adjacent_indices`)
+  and **per-wire instruction indices** -- keyed by a structural circuit
+  fingerprint, so QBO and QPO (which both guard their SWAP rewrites on the
+  same adjacency map) share one computation when they see the same circuit.
+* **DAG views** -- keyed by the fingerprint plus operation identity; the
+  keyed circuit is kept alive so identity keys stay valid.
+
+Caches are invalidated implicitly: a rewritten circuit has a different
+fingerprint, so stale entries are simply never hit again.  The cache is
+therefore safe to share across pipeline runs -- that sharing is exactly
+what makes a second run of the paper's Table II workloads construct far
+fewer matrices (see ``tests/transpiler/test_cache.py``).
+
+``stats`` counts hits/misses/uncached requests per family.  Per-pass
+rewrite counts deliberately do NOT live here: the cache may be shared by
+concurrent runs, so they go into the per-run property set instead (see
+:func:`rewrite_counter`), which the pass manager snapshots around each
+pass to attach rewrite counts to its metrics.
+
+Entry counts are bounded (FIFO eviction) so a cache shared by a long-lived
+service cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.circuit.instruction import ControlledGate, Instruction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = ["AnalysisCache", "rewrite_counter"]
+
+#: FIFO caps per cache family -- far above any single pipeline's working
+#: set, low enough that a cache shared across many runs stays bounded.
+_MAX_MATRICES = 4096
+_MAX_CIRCUIT_VIEWS = 512
+
+
+def rewrite_counter(property_set) -> Counter:
+    """The per-run rewrite counter, stored in the property set.
+
+    Lives on the property set (one per run) rather than on the shared
+    :class:`AnalysisCache` so concurrent runs never see each other's
+    counts; the pass manager diffs it around each pass execution.
+    """
+    counter = None
+    if property_set is not None:
+        counter = property_set.get("rewrite_counts")
+    if not isinstance(counter, Counter):
+        counter = Counter()
+        if property_set is not None:
+            property_set["rewrite_counts"] = counter
+    return counter
+
+
+def _bounded_insert(table: dict, key, value, limit: int) -> None:
+    """Insert with FIFO eviction once ``limit`` entries are reached."""
+    if len(table) >= limit:
+        table.pop(next(iter(table)))
+    table[key] = value
+
+#: Gates whose matrix is fully determined by ``(name, num_qubits, params)``.
+#: Anything else (e.g. ``UnitaryGate``, ad-hoc inverses) is left uncached --
+#: caching by name would be unsound for gates carrying hidden state.
+_CACHEABLE_NAMES = frozenset(
+    {
+        "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+        "u1", "u2", "u3", "rx", "ry", "rz",
+        "cx", "cy", "cz", "ch", "cp", "crx", "cry", "crz", "cu3",
+        "swap", "swapz", "iswap",
+        "ccx", "ccz", "cswap", "mcx", "mcz", "mcu1", "mcx_vchain",
+    }
+)
+
+
+def _matrix_key(operation: Instruction):
+    """Hashable identity of a gate's unitary, or ``None`` if uncacheable."""
+    params = []
+    for param in operation.params:
+        if isinstance(param, (int, float)) and not isinstance(param, bool):
+            params.append(float(param))
+        else:
+            return None  # matrices, symbols, ... -- not value-keyable
+    if isinstance(operation, ControlledGate):
+        base_key = _matrix_key(operation.base_gate)
+        if base_key is None:
+            return None
+        return (
+            operation.name,
+            operation.num_qubits,
+            tuple(params),
+            operation.ctrl_state,
+            base_key,
+        )
+    if operation.name not in _CACHEABLE_NAMES:
+        return None
+    return (operation.name, operation.num_qubits, tuple(params))
+
+
+def _structural_fingerprint(circuit: "QuantumCircuit", with_identity: bool = False):
+    """Precise structural key: per-instruction (name, qubits, clbits).
+
+    With ``with_identity`` the operation objects themselves join the key
+    (needed when the cached artifact holds references to them, e.g. DAGs).
+    """
+    if with_identity:
+        body = tuple(
+            (id(inst.operation), inst.qubits, inst.clbits) for inst in circuit.data
+        )
+    else:
+        body = tuple(
+            (inst.operation.name, inst.qubits, inst.clbits) for inst in circuit.data
+        )
+    return (circuit.num_qubits, circuit.num_clbits, body)
+
+
+class AnalysisCache:
+    """Memoized analysis results shared by the passes of a pipeline run."""
+
+    #: Key under which the pass manager stores the cache in the property set.
+    PROPERTY_KEY = "analysis_cache"
+
+    def __init__(self):
+        self._matrices: dict = {}
+        self._adjacency: dict = {}
+        self._wire_indices: dict = {}
+        self._dags: dict = {}
+        self.stats: Counter = Counter()
+
+    @classmethod
+    def ensure(cls, property_set) -> "AnalysisCache":
+        """The run's cache; installs a fresh one into the property set if
+        missing, so directly-invoked passes still share within a run."""
+        cache = None
+        if property_set is not None:
+            cache = property_set.get(cls.PROPERTY_KEY)
+        if not isinstance(cache, AnalysisCache):
+            cache = cls()
+            if property_set is not None:
+                property_set[cls.PROPERTY_KEY] = cache
+        return cache
+
+    # -- gate matrices -----------------------------------------------------
+
+    def matrix(self, operation: Instruction) -> np.ndarray:
+        """Memoized ``operation.to_matrix()``.
+
+        Returned arrays are read-only and shared -- callers must not mutate
+        them (compose into fresh arrays instead, as all passes already do).
+        """
+        if not operation.params and not isinstance(operation, ControlledGate):
+            from repro.gates.matrices import standard_gate_matrix
+
+            shared = standard_gate_matrix(operation.name)
+            if shared is not None and shared.shape == (2**operation.num_qubits,) * 2:
+                self.stats["matrix_table"] += 1
+                return shared
+        key = _matrix_key(operation)
+        if key is None:
+            self.stats["matrix_uncached"] += 1
+            return operation.to_matrix()
+        cached = self._matrices.get(key)
+        if cached is not None:
+            self.stats["matrix_hits"] += 1
+            return cached
+        self.stats["matrix_misses"] += 1
+        matrix = operation.to_matrix()
+        if matrix.flags.writeable:
+            matrix.setflags(write=False)
+        _bounded_insert(self._matrices, key, matrix, _MAX_MATRICES)
+        return matrix
+
+    @property
+    def matrix_constructions(self) -> int:
+        """Matrices actually built on behalf of callers (miss + uncached).
+
+        The seed code path built one matrix per request, i.e. this would
+        equal ``matrix_requests``; the gap is the cache's saving.
+        """
+        return self.stats["matrix_misses"] + self.stats["matrix_uncached"]
+
+    @property
+    def matrix_requests(self) -> int:
+        return (
+            self.stats["matrix_hits"]
+            + self.stats["matrix_misses"]
+            + self.stats["matrix_uncached"]
+            + self.stats["matrix_table"]
+        )
+
+    # -- circuit-level views ----------------------------------------------
+
+    def same_pair_adjacency(self, circuit: "QuantumCircuit") -> set[int]:
+        """Memoized :func:`repro.rpo.adjacency.same_pair_adjacent_indices`."""
+        from repro.rpo.adjacency import same_pair_adjacent_indices
+
+        key = _structural_fingerprint(circuit)
+        cached = self._adjacency.get(key)
+        if cached is not None:
+            self.stats["adjacency_hits"] += 1
+            return cached
+        self.stats["adjacency_misses"] += 1
+        result = same_pair_adjacent_indices(circuit)
+        _bounded_insert(self._adjacency, key, result, _MAX_CIRCUIT_VIEWS)
+        return result
+
+    def wire_indices(self, circuit: "QuantumCircuit") -> dict[int, list[int]]:
+        """Per-qubit ordered instruction indices (a cheap DAG projection)."""
+        key = _structural_fingerprint(circuit)
+        cached = self._wire_indices.get(key)
+        if cached is not None:
+            self.stats["wire_indices_hits"] += 1
+            return cached
+        self.stats["wire_indices_misses"] += 1
+        wires: dict[int, list[int]] = {q: [] for q in range(circuit.num_qubits)}
+        for index, instruction in enumerate(circuit.data):
+            for qubit in instruction.qubits:
+                wires[qubit].append(index)
+        _bounded_insert(self._wire_indices, key, wires, _MAX_CIRCUIT_VIEWS)
+        return wires
+
+    def dag(self, circuit: "QuantumCircuit"):
+        """Memoized DAG view of the circuit.
+
+        Keyed on operation identity; the circuit is retained alongside the
+        DAG so the identity key cannot be recycled while the entry lives.
+        """
+        from repro.circuit.converters import circuit_to_dag
+
+        key = _structural_fingerprint(circuit, with_identity=True)
+        cached = self._dags.get(key)
+        if cached is not None:
+            self.stats["dag_hits"] += 1
+            return cached[1]
+        self.stats["dag_misses"] += 1
+        dag = circuit_to_dag(circuit)
+        _bounded_insert(self._dags, key, (circuit, dag), _MAX_CIRCUIT_VIEWS)
+        return dag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AnalysisCache matrices={len(self._matrices)} "
+            f"requests={self.matrix_requests} "
+            f"constructions={self.matrix_constructions}>"
+        )

@@ -1,0 +1,189 @@
+"""The public ``transpile()`` front-end: one entry point for every pipeline.
+
+This module is the top of the transpiler stack.  Everything below it --
+preset levels 0-3, the paper's RPO pipeline (``pipeline="rpo"`` /
+``"rpo_ext"``) and the Hoare baseline (``"hoare"``) -- is reached through
+:func:`transpile` / :func:`pass_manager_for`, so callers (benchmarks,
+examples, services) never wire pass managers by hand.
+
+Architecture:
+
+* **Pipeline routing** -- ``pipeline`` selects the pass-manager factory;
+  the default ``"preset"`` dispatches on ``optimization_level`` exactly
+  like the historical :func:`repro.transpiler.preset.transpile`.
+* **Batching** -- ``transpile`` accepts a single circuit or a sequence.
+  Batches are dispatched across a ``concurrent.futures`` thread pool; each
+  job builds its own :class:`~repro.transpiler.passmanager.PassManager`
+  (pass instances are single-run objects), so jobs never share mutable
+  pass state.  ``seed`` may be one value for the whole batch or a
+  per-circuit sequence.
+* **Shared analysis cache** -- all jobs of a batch share one
+  :class:`~repro.transpiler.cache.AnalysisCache` (pass your own to share
+  across calls): repeated workloads skip most matrix constructions and
+  circuit analyses, which is what makes high-throughput serving of
+  similar circuits cheap.
+* **Results** -- by default the transpiled circuit(s) come back in input
+  order; ``full_result=True`` returns
+  :class:`~repro.transpiler.passmanager.TranspileResult` objects carrying
+  the property set and the structured per-pass/per-loop metrics.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.transpiler.cache import AnalysisCache
+from repro.transpiler.coupling import CouplingMap
+from repro.transpiler.exceptions import TranspilerError
+from repro.transpiler.layout import Layout
+from repro.transpiler.passmanager import PassManager, PropertySet, TranspileResult
+from repro.transpiler.passes import IBM_BASIS
+
+__all__ = ["transpile", "pass_manager_for", "PIPELINES"]
+
+#: Named pipelines routed through :func:`pass_manager_for`.  ``"preset"``
+#: dispatches on ``optimization_level``; ``"level0"``-``"level3"`` pin one;
+#: the rest are the paper's configurations.
+PIPELINES = (
+    "preset",
+    "level0",
+    "level1",
+    "level2",
+    "level3",
+    "rpo",
+    "rpo_ext",
+    "hoare",
+)
+
+
+def pass_manager_for(
+    pipeline: str,
+    coupling: CouplingMap,
+    backend_properties=None,
+    optimization_level: int = 1,
+    seed: int | None = None,
+    basis=IBM_BASIS,
+    initial_layout: Layout | None = None,
+) -> PassManager:
+    """Build the pass manager for a named pipeline.
+
+    The single routing point for preset levels, the RPO pipelines and the
+    Hoare baseline -- new pipeline flavours plug in here.
+    """
+    # lazy imports: repro.rpo imports this package's submodules
+    from repro.rpo.pipeline import (
+        hoare_pass_manager,
+        rpo_extended_pass_manager,
+        rpo_pass_manager,
+    )
+    from repro.transpiler.preset import preset_pass_manager
+
+    kwargs = dict(
+        backend_properties=backend_properties,
+        seed=seed,
+        basis=basis,
+        initial_layout=initial_layout,
+    )
+    if pipeline == "preset":
+        return preset_pass_manager(optimization_level, coupling, **kwargs)
+    if pipeline.startswith("level") and pipeline[5:].isdigit():
+        return preset_pass_manager(int(pipeline[5:]), coupling, **kwargs)
+    if pipeline == "rpo":
+        return rpo_pass_manager(coupling, **kwargs)
+    if pipeline == "rpo_ext":
+        return rpo_extended_pass_manager(coupling, **kwargs)
+    if pipeline == "hoare":
+        return hoare_pass_manager(coupling, **kwargs)
+    raise TranspilerError(
+        f"unknown pipeline {pipeline!r}; choose one of {', '.join(PIPELINES)}"
+    )
+
+
+def transpile(
+    circuits: QuantumCircuit | Sequence[QuantumCircuit],
+    backend=None,
+    coupling_map: CouplingMap | None = None,
+    backend_properties=None,
+    pipeline: str = "preset",
+    optimization_level: int = 1,
+    seed: int | Sequence[int] | None = None,
+    basis_gates=IBM_BASIS,
+    initial_layout: Layout | None = None,
+    max_workers: int | None = None,
+    analysis_cache: AnalysisCache | None = None,
+    full_result: bool = False,
+):
+    """Compile one circuit -- or a batch -- for a target device.
+
+    Args:
+        circuits: a single :class:`QuantumCircuit` or a sequence of them.
+        backend: a device from :mod:`repro.backends`; overrides
+            ``coupling_map``/``backend_properties``.
+        coupling_map: explicit device connectivity.  With neither backend
+            nor map, an all-to-all map of each circuit's width is assumed.
+        pipeline: ``"preset"`` (default, dispatches on
+            ``optimization_level``), ``"level0"``-``"level3"``, ``"rpo"``,
+            ``"rpo_ext"`` or ``"hoare"``.
+        seed: routing seed; a sequence gives one seed per batched circuit.
+        max_workers: thread-pool width for batches (default: CPU-bounded).
+        analysis_cache: a shared :class:`AnalysisCache`; defaults to one
+            fresh cache shared by the whole batch.
+        full_result: return :class:`TranspileResult` objects (circuit +
+            properties + per-pass metrics) instead of bare circuits.
+
+    Returns:
+        The transpiled circuit (or result) for single-circuit input, else
+        a list in input order.
+    """
+    single = isinstance(circuits, QuantumCircuit)
+    batch = [circuits] if single else list(circuits)
+    if not batch:
+        return []
+    if any(not isinstance(circuit, QuantumCircuit) for circuit in batch):
+        raise TranspilerError("transpile() expects QuantumCircuit inputs")
+
+    if backend is not None:
+        coupling_map = backend.coupling_map
+        backend_properties = backend.properties
+
+    if isinstance(seed, (list, tuple)):
+        if len(seed) != len(batch):
+            raise TranspilerError(
+                f"got {len(seed)} seeds for {len(batch)} circuits"
+            )
+        seeds = list(seed)
+    else:
+        seeds = [seed] * len(batch)
+
+    cache = analysis_cache if analysis_cache is not None else AnalysisCache()
+
+    def job(circuit: QuantumCircuit, job_seed) -> TranspileResult:
+        coupling = coupling_map
+        if coupling is None:
+            coupling = CouplingMap.full(circuit.num_qubits)
+        manager = pass_manager_for(
+            pipeline,
+            coupling,
+            backend_properties=backend_properties,
+            optimization_level=optimization_level,
+            seed=job_seed,
+            basis=basis_gates,
+            initial_layout=initial_layout,
+        )
+        return manager.run_with_result(
+            circuit, PropertySet(), analysis_cache=cache
+        )
+
+    if len(batch) == 1:
+        results = [job(batch[0], seeds[0])]
+    else:
+        workers = max_workers or min(len(batch), max(1, (os.cpu_count() or 2) - 1))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(job, batch, seeds))
+
+    if not full_result:
+        results = [result.circuit for result in results]
+    return results[0] if single else results

@@ -12,6 +12,8 @@ __all__ = ["Size", "Depth", "CountOps", "FixedPoint", "CheckMap"]
 class Size(AnalysisPass):
     """Record the operation count under ``property_set['size']``."""
 
+    provides = ("size",)
+
     def analyze(self, circuit: QuantumCircuit, property_set: PropertySet) -> None:
         property_set["size"] = circuit.size()
 
@@ -19,12 +21,16 @@ class Size(AnalysisPass):
 class Depth(AnalysisPass):
     """Record the circuit depth under ``property_set['depth']``."""
 
+    provides = ("depth",)
+
     def analyze(self, circuit: QuantumCircuit, property_set: PropertySet) -> None:
         property_set["depth"] = circuit.depth()
 
 
 class CountOps(AnalysisPass):
     """Record per-gate counts under ``property_set['count_ops']``."""
+
+    provides = ("count_ops",)
 
     def analyze(self, circuit: QuantumCircuit, property_set: PropertySet) -> None:
         property_set["count_ops"] = circuit.count_ops()
@@ -35,6 +41,9 @@ class FixedPoint(AnalysisPass):
 
     Sets ``property_set[f"{key}_fixed_point"]`` -- the loop condition of the
     level-3 optimization loop (paper Fig. 8 line 9).
+
+    Deliberately declares no ``provides``: the pass is stateful (it compares
+    consecutive observations), so the scheduler must never skip it.
     """
 
     def __init__(self, key: str):
@@ -55,6 +64,8 @@ class FixedPoint(AnalysisPass):
 
 class CheckMap(AnalysisPass):
     """Verify every two-qubit gate respects the coupling map."""
+
+    provides = ("is_swap_mapped",)
 
     def __init__(self, coupling: CouplingMap):
         self.coupling = coupling

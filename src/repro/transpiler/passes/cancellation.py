@@ -11,6 +11,7 @@ describes in Sec. II-B.
 from __future__ import annotations
 
 from repro.circuit.quantumcircuit import CircuitInstruction, QuantumCircuit
+from repro.transpiler.cache import AnalysisCache, rewrite_counter
 from repro.transpiler.passmanager import PropertySet, TransformationPass
 
 __all__ = ["CXCancellation", "CommutativeCancellation"]
@@ -30,7 +31,10 @@ def _emit_surviving(circuit: QuantumCircuit, survivors: list) -> QuantumCircuit:
 class CXCancellation(TransformationPass):
     """Cancel immediately adjacent self-inverse two-qubit gate pairs."""
 
+    preserves = ("is_swap_mapped",)
+
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        rewrites = rewrite_counter(property_set)
         survivors: list[CircuitInstruction | None] = []
         last_on_wire: dict[int, int] = {}  # qubit -> index into survivors
 
@@ -50,6 +54,7 @@ class CXCancellation(TransformationPass):
                         for qubit in qubits:
                             del last_on_wire[qubit]
                         cancelled = True
+                        rewrites[self.name] += 1
             if not cancelled:
                 survivors.append(instruction)
                 for qubit in qubits:
@@ -76,13 +81,14 @@ class CommutativeCancellation(TransformationPass):
     both wires, the pair collapses.
     """
 
+    preserves = ("is_swap_mapped",)
+
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        cache = AnalysisCache.ensure(property_set)
+        rewrites = rewrite_counter(property_set)
         survivors: list[CircuitInstruction | None] = list(circuit.data)
-        # indices of ops per wire, in order
-        wire_ops: dict[int, list[int]] = {q: [] for q in range(circuit.num_qubits)}
-        for index, instruction in enumerate(survivors):
-            for qubit in instruction.qubits:
-                wire_ops[qubit].append(index)
+        # per-wire instruction indices, shared through the analysis cache
+        wire_ops = cache.wire_indices(circuit)
 
         open_cx: dict[tuple[int, int], int] = {}  # (c, t) -> index of candidate
         for index, instruction in enumerate(survivors):
@@ -102,6 +108,7 @@ class CommutativeCancellation(TransformationPass):
                 ):
                     survivors[earlier] = None
                     survivors[index] = None
+                    rewrites[self.name] += 1
                     continue
             # a cx also threatens candidates on overlapping wires
             self._invalidate(open_cx, instruction, survivors, skip_key=key)

@@ -17,6 +17,8 @@ class RemoveDiagonalGatesBeforeMeasure(TransformationPass):
     cannot affect outcome statistics.
     """
 
+    preserves = ("is_swap_mapped",)
+
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
         survivors: list = list(circuit.data)
         # for each wire, walk backwards from each measure
@@ -57,6 +59,9 @@ class RemoveDiagonalGatesBeforeMeasure(TransformationPass):
 class RemoveAnnotations(TransformationPass):
     """Strip ``ANNOT`` directives (after the state analyses consumed them)."""
 
+    # directives are invisible to size/depth and touch no couplings
+    preserves = ("size", "depth", "is_swap_mapped")
+
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
         output = circuit.copy_empty_like()
         for instruction in circuit.data:
@@ -68,6 +73,8 @@ class RemoveAnnotations(TransformationPass):
 
 class RemoveBarriers(TransformationPass):
     """Strip barrier directives."""
+
+    preserves = ("size", "depth", "is_swap_mapped")
 
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
         output = circuit.copy_empty_like()

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.circuit.quantumcircuit import CircuitInstruction, QuantumCircuit
 from repro.linalg.two_qubit_synthesis import synthesize_two_qubit_unitary
+from repro.transpiler.cache import AnalysisCache, rewrite_counter
 from repro.transpiler.passmanager import PropertySet, TransformationPass
 
 __all__ = ["ConsolidateBlocks"]
@@ -45,7 +46,7 @@ class _Block:
             self.num_2q += 1
             self.cx_cost += _CX_COST.get(instruction.operation.name, 3)
 
-    def matrix(self) -> np.ndarray:
+    def matrix(self, cache: AnalysisCache) -> np.ndarray:
         """4x4 unitary with local wire 0 = pair[0], wire 1 = pair[1]."""
         from repro.circuit.matrix_utils import embed_gate
 
@@ -53,7 +54,7 @@ class _Block:
         matrix = np.eye(4, dtype=complex)
         for instruction in self.instructions:
             local = tuple(wire_of[q] for q in instruction.qubits)
-            matrix = embed_gate(instruction.operation.to_matrix(), local, 2) @ matrix
+            matrix = embed_gate(cache.matrix(instruction.operation), local, 2) @ matrix
         return matrix
 
 
@@ -61,12 +62,16 @@ class ConsolidateBlocks(TransformationPass):
     """Collect and re-synthesise two-qubit blocks (Collect2qBlocks +
     ConsolidateBlocks rolled into one linear scan)."""
 
+    preserves = ("is_swap_mapped",)
+
     def __init__(self, force: bool = False):
         # ``force`` re-synthesises even when the CNOT count does not drop
         # (useful in tests); the preset pipelines keep the default.
         self.force = force
 
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        cache = AnalysisCache.ensure(property_set)
+        rewrites = rewrite_counter(property_set)
         output = circuit.copy_empty_like()
         pending_1q: dict[int, list[CircuitInstruction]] = {}
         block_of: dict[int, _Block] = {}
@@ -78,7 +83,7 @@ class ConsolidateBlocks(TransformationPass):
         def flush_block(block: _Block) -> None:
             for qubit in block.pair:
                 block_of.pop(qubit, None)
-            self._emit_block(block, output)
+            self._emit_block(block, output, cache, rewrites)
 
         def flush_qubit(qubit: int) -> None:
             block = block_of.get(qubit)
@@ -133,12 +138,12 @@ class ConsolidateBlocks(TransformationPass):
             flush_pending(qubit)
         return output
 
-    def _emit_block(self, block: _Block, output: QuantumCircuit) -> None:
+    def _emit_block(self, block: _Block, output: QuantumCircuit, cache: AnalysisCache, rewrites) -> None:
         if block.num_2q < _BLOCK_MIN_2Q and not self.force:
             self._emit_original(block, output)
             return
         try:
-            replacement = synthesize_two_qubit_unitary(block.matrix())
+            replacement = synthesize_two_qubit_unitary(block.matrix(cache))
         except Exception:
             self._emit_original(block, output)
             return
@@ -150,6 +155,7 @@ class ConsolidateBlocks(TransformationPass):
         if not (better or self.force):
             self._emit_original(block, output)
             return
+        rewrites[self.name] += 1
         output.global_phase += replacement.global_phase
         for inner in replacement.data:
             mapped = tuple(block.pair[q] for q in inner.qubits)

@@ -21,6 +21,8 @@ __all__ = ["TrivialLayout", "DenseLayout", "ApplyLayout", "SetLayout"]
 class SetLayout(AnalysisPass):
     """Install a user-provided layout."""
 
+    provides = ("layout",)
+
     def __init__(self, layout: Layout):
         self.layout = layout
 
@@ -30,6 +32,8 @@ class SetLayout(AnalysisPass):
 
 class TrivialLayout(AnalysisPass):
     """Identity virtual-to-physical mapping."""
+
+    provides = ("layout",)
 
     def __init__(self, coupling: CouplingMap):
         self.coupling = coupling
@@ -51,6 +55,8 @@ class DenseLayout(AnalysisPass):
     the neighboring physical qubit with the most connections into the chosen
     set, breaking ties on error rates.
     """
+
+    provides = ("layout",)
 
     def __init__(self, coupling: CouplingMap, backend_properties=None):
         self.coupling = coupling
@@ -123,6 +129,9 @@ class DenseLayout(AnalysisPass):
 
 class ApplyLayout(TransformationPass):
     """Widen the circuit to device size and permute wires per the layout."""
+
+    requires = ("layout",)
+    provides = ("original_num_qubits",)
 
     def __init__(self, coupling: CouplingMap):
         self.coupling = coupling

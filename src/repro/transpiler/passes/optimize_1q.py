@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.linalg.euler import u3_params_from_unitary
+from repro.transpiler.cache import AnalysisCache, rewrite_counter
 from repro.transpiler.passmanager import PropertySet, TransformationPass
 from repro.utils.angles import normalize_angle
 
@@ -28,14 +29,21 @@ _EPS = 1e-10
 class Optimize1qGates(TransformationPass):
     """Fuse runs of adjacent one-qubit gates into minimal u-gates."""
 
+    preserves = ("is_swap_mapped",)
+
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        cache = AnalysisCache.ensure(property_set)
+        rewrites = rewrite_counter(property_set)
         output = circuit.copy_empty_like()
-        pending: dict[int, np.ndarray] = {}
+        pending: dict[int, tuple[np.ndarray, int]] = {}  # matrix, run length
 
         def flush(qubit: int) -> None:
-            matrix = pending.pop(qubit, None)
-            if matrix is None:
+            entry = pending.pop(qubit, None)
+            if entry is None:
                 return
+            matrix, run_length = entry
+            if run_length > 1:
+                rewrites[self.name] += 1
             self._emit(matrix, qubit, output)
 
         for instruction in circuit.data:
@@ -48,8 +56,12 @@ class Optimize1qGates(TransformationPass):
             if is_mergeable:
                 qubit = instruction.qubits[0]
                 current = pending.get(qubit)
-                matrix = operation.to_matrix()
-                pending[qubit] = matrix if current is None else matrix @ current
+                matrix = cache.matrix(operation)
+                pending[qubit] = (
+                    (matrix, 1)
+                    if current is None
+                    else (matrix @ current[0], current[1] + 1)
+                )
                 continue
             for qubit in instruction.qubits:
                 flush(qubit)

@@ -34,6 +34,8 @@ _LOOKAHEAD_DECAY = 0.7
 class StochasticSwap(TransformationPass):
     """Insert SWAPs so all two-qubit gates respect the coupling map."""
 
+    provides = ("routing_swaps", "final_permutation")
+
     def __init__(self, coupling: CouplingMap, trials: int = 5, seed: int | None = None):
         self.coupling = coupling
         self.trials = max(1, trials)

@@ -1,4 +1,4 @@
-"""Pass-manager framework.
+"""Requirements-aware pass-manager framework.
 
 Passes are small objects with a ``run`` method; transformation passes return
 a new circuit, analysis passes only write to the shared
@@ -6,17 +6,44 @@ a new circuit, analysis passes only write to the shared
 and flow controllers (``DoWhileController`` implements the fixed-point loop
 of optimization level 3, paper Fig. 8 lines 9-10).
 
-Timing of each pass is recorded in the property set under
-``"pass_times"`` -- the paper's transpile-time comparisons (Tables II-IV)
-come from these timers.
+The scheduler is *requirements/preserves-aware* (the mechanism behind the
+paper's observation that early rewrites make the whole pipeline faster,
+Tables II-IV):
+
+* every :class:`BasePass` declares ``requires`` (property names that must
+  exist before it runs), ``preserves`` (analysis results it keeps valid)
+  and ``invalidates`` (results it always clobbers); analysis passes also
+  declare ``provides``;
+* the manager tracks which analysis results are currently *valid* and
+  skips an analysis pass outright when everything it provides is still
+  valid -- including after transformation passes that provably did not
+  change the circuit (detected structurally), which is what short-circuits
+  the tail iterations of the fixed-point loop;
+* all passes share one :class:`~repro.transpiler.cache.AnalysisCache`
+  (gate matrices, adjacency maps, DAG views), installed in the property
+  set; pass a cache into :meth:`PassManager.run` to share it across runs.
+
+Each run produces a :class:`TranspileResult` carrying the output circuit,
+the property set, structured per-pass metrics (:class:`PassMetrics`: time,
+gate/depth delta, rewrites applied, skipped flag) and per-loop metrics
+(:class:`LoopMetrics`: iteration count, per-iteration times, convergence).
+``PassManager.run`` remains side-effect free with respect to the manager --
+concurrent runs of one manager do not race; ``PassManager.property_set`` is
+kept only as a deprecated, thread-local alias for the last result's
+properties.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+import warnings
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.transpiler.cache import AnalysisCache, rewrite_counter
+from repro.transpiler.exceptions import TranspilerError
 
 __all__ = [
     "PropertySet",
@@ -25,6 +52,9 @@ __all__ = [
     "TransformationPass",
     "DoWhileController",
     "PassManager",
+    "PassMetrics",
+    "LoopMetrics",
+    "TranspileResult",
 ]
 
 
@@ -32,8 +62,85 @@ class PropertySet(dict):
     """Shared key-value store that passes use to communicate."""
 
 
+@dataclass
+class PassMetrics:
+    """Structured record of one pass execution (or skip)."""
+
+    name: str
+    time: float
+    size_before: int
+    size_after: int
+    depth_before: int
+    depth_after: int
+    rewrites: int = 0
+    skipped: bool = False
+
+    @property
+    def size_delta(self) -> int:
+        return self.size_after - self.size_before
+
+    @property
+    def depth_delta(self) -> int:
+        return self.depth_after - self.depth_before
+
+
+@dataclass
+class LoopMetrics:
+    """Cost profile of one ``DoWhileController`` execution.
+
+    The fixed-point loop is the paper's transpile-time mechanism: RPO's
+    early rewrites shrink the circuit every iteration sees, so the loop's
+    per-iteration times are the first place its speed-up shows up.
+    """
+
+    name: str
+    iterations: int
+    converged: bool
+    iteration_times: list[float] = field(default_factory=list)
+    time: float = 0.0
+
+
+@dataclass
+class TranspileResult:
+    """Everything a pipeline run produced."""
+
+    circuit: QuantumCircuit
+    properties: PropertySet
+    metrics: list[PassMetrics] = field(default_factory=list)
+    loops: list[LoopMetrics] = field(default_factory=list)
+    time: float = 0.0
+
+    @property
+    def pass_times(self) -> list[tuple[str, float]]:
+        """``(name, seconds)`` per executed pass (skips excluded)."""
+        return [(m.name, m.time) for m in self.metrics if not m.skipped]
+
+    @property
+    def analysis_cache(self) -> AnalysisCache | None:
+        cache = self.properties.get(AnalysisCache.PROPERTY_KEY)
+        return cache if isinstance(cache, AnalysisCache) else None
+
+
 class BasePass:
-    """Common base class for transpiler passes."""
+    """Common base class for transpiler passes.
+
+    Scheduling contract (all optional, all property-name tuples):
+
+    * ``requires`` -- properties that must already exist in the property
+      set; the manager raises :class:`TranspilerError` otherwise.
+    * ``provides`` -- properties this pass computes.  An analysis pass
+      whose every provided property is still valid is skipped.
+    * ``preserves`` -- properties that remain valid after this pass ran;
+      the string ``"all"`` preserves everything (analysis passes default
+      to it, transformation passes to ``()``).
+    * ``invalidates`` -- properties clobbered unconditionally, even when
+      the circuit comes back unchanged.
+    """
+
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ()
+    preserves: tuple[str, ...] | str = ()
+    invalidates: tuple[str, ...] = ()
 
     @property
     def name(self) -> str:
@@ -48,6 +155,8 @@ class BasePass:
 
 class AnalysisPass(BasePass):
     """A pass that computes properties but leaves the circuit unchanged."""
+
+    preserves = "all"
 
     def analyze(self, circuit: QuantumCircuit, property_set: PropertySet) -> None:
         raise NotImplementedError
@@ -88,11 +197,41 @@ class DoWhileController:
         return f"DoWhile[{inner}]"
 
 
+class _RunState:
+    """Book-keeping for one pipeline run (never stored on the manager)."""
+
+    __slots__ = ("properties", "valid", "metrics", "loops", "cache", "size", "depth")
+
+    def __init__(self, properties: PropertySet, cache: AnalysisCache):
+        self.properties = properties
+        self.valid: set[str] = set()
+        self.metrics: list[PassMetrics] = []
+        self.loops: list[LoopMetrics] = []
+        self.cache = cache
+        self.size: int | None = None  # memoized metrics of the live circuit
+        self.depth: int | None = None
+
+
+def _unchanged(before: QuantumCircuit, after: QuantumCircuit) -> bool:
+    """Structurally identical output => every analysis stays valid."""
+    if after is before:
+        return True
+    if (
+        after.num_qubits != before.num_qubits
+        or after.num_clbits != before.num_clbits
+        or len(after.data) != len(before.data)
+        or abs(after.global_phase - before.global_phase) > 1e-12
+    ):
+        return False
+    return after.data == before.data
+
+
 class PassManager:
     """Runs a schedule of passes over a circuit."""
 
     def __init__(self, passes: Iterable[BasePass | DoWhileController] | None = None):
         self._schedule: list[BasePass | DoWhileController] = list(passes or [])
+        self._thread_results = threading.local()
 
     def append(self, item: BasePass | DoWhileController | Sequence[BasePass]) -> None:
         if isinstance(item, (BasePass, DoWhileController)):
@@ -104,36 +243,161 @@ class PassManager:
     def passes(self) -> list[BasePass | DoWhileController]:
         return list(self._schedule)
 
+    @property
+    def property_set(self) -> PropertySet | None:
+        """Deprecated: the property set of this thread's last run.
+
+        Prefer the :class:`TranspileResult` returned by
+        :meth:`run_with_result` -- it is what makes concurrent runs of one
+        manager race-free.
+        """
+        warnings.warn(
+            "PassManager.property_set is deprecated; use the TranspileResult "
+            "returned by PassManager.run_with_result() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = getattr(self._thread_results, "last", None)
+        return result.properties if result is not None else None
+
     def run(
-        self, circuit: QuantumCircuit, property_set: PropertySet | None = None
+        self,
+        circuit: QuantumCircuit,
+        property_set: PropertySet | None = None,
+        analysis_cache: AnalysisCache | None = None,
     ) -> QuantumCircuit:
         """Execute the schedule; returns the transformed circuit.
 
-        The property set (including per-pass timing under ``pass_times``)
-        survives on ``self.property_set`` for inspection.
+        A convenience front over :meth:`run_with_result` -- metrics and
+        properties live on the returned result object there.
+        """
+        return self.run_with_result(
+            circuit, property_set=property_set, analysis_cache=analysis_cache
+        ).circuit
+
+    def run_with_result(
+        self,
+        circuit: QuantumCircuit,
+        property_set: PropertySet | None = None,
+        analysis_cache: AnalysisCache | None = None,
+    ) -> TranspileResult:
+        """Execute the schedule and return the full :class:`TranspileResult`.
+
+        ``analysis_cache`` may be shared across runs (and across managers):
+        repeated workloads then skip most matrix constructions and circuit
+        analyses.  All run state is local; only a thread-local reference to
+        the result is kept for the deprecated ``property_set`` alias.
         """
         properties = property_set if property_set is not None else PropertySet()
         properties.setdefault("pass_times", [])
+        cache = analysis_cache
+        if cache is None:
+            existing = properties.get(AnalysisCache.PROPERTY_KEY)
+            cache = existing if isinstance(existing, AnalysisCache) else AnalysisCache()
+        properties[AnalysisCache.PROPERTY_KEY] = cache
+        state = _RunState(properties, cache)
+        start = time.perf_counter()
         for item in self._schedule:
-            circuit = self._run_item(item, circuit, properties)
-        self.property_set = properties
-        return circuit
+            circuit = self._run_item(item, circuit, state)
+        result = TranspileResult(
+            circuit=circuit,
+            properties=properties,
+            metrics=state.metrics,
+            loops=state.loops,
+            time=time.perf_counter() - start,
+        )
+        self._thread_results.last = result
+        return result
 
-    def _run_item(self, item, circuit, properties):
+    # ------------------------------------------------------------------
+
+    def _run_item(self, item, circuit, state: _RunState):
         if isinstance(item, DoWhileController):
+            loop_start = time.perf_counter()
+            iteration_times: list[float] = []
+            converged = False
             for _ in range(item.max_iterations):
+                iteration_start = time.perf_counter()
                 for inner in item.passes:
-                    circuit = self._run_pass(inner, circuit, properties)
-                if not item.do_while(properties):
+                    circuit = self._run_pass(inner, circuit, state)
+                iteration_times.append(time.perf_counter() - iteration_start)
+                if not item.do_while(state.properties):
+                    converged = True
                     break
+            loop = LoopMetrics(
+                name=item.name,
+                iterations=len(iteration_times),
+                converged=converged,
+                iteration_times=iteration_times,
+                time=time.perf_counter() - loop_start,
+            )
+            state.loops.append(loop)
+            state.properties.setdefault("loop_metrics", []).append(loop)
             return circuit
-        return self._run_pass(item, circuit, properties)
+        return self._run_pass(item, circuit, state)
 
-    def _run_pass(self, pass_, circuit, properties):
+    def _run_pass(self, pass_, circuit, state: _RunState):
+        properties = state.properties
+        for required in pass_.requires:
+            if required not in properties:
+                raise TranspilerError(
+                    f"pass {pass_.name} requires property {required!r}; schedule "
+                    "a pass that provides it first"
+                )
+
+        if state.size is None:
+            state.size = circuit.size()
+            state.depth = circuit.depth()
+        size_before, depth_before = state.size, state.depth
+
+        provides = tuple(pass_.provides)
+        if (
+            isinstance(pass_, AnalysisPass)
+            and provides
+            and all(name in state.valid for name in provides)
+        ):
+            # everything this analysis would compute is still valid: skip
+            state.metrics.append(
+                PassMetrics(
+                    name=pass_.name,
+                    time=0.0,
+                    size_before=size_before,
+                    size_after=size_before,
+                    depth_before=depth_before,
+                    depth_after=depth_before,
+                    skipped=True,
+                )
+            )
+            return circuit
+
+        rewrites_before = rewrite_counter(properties)[pass_.name]
         start = time.perf_counter()
         result = pass_.run(circuit, properties)
         elapsed = time.perf_counter() - start
-        properties["pass_times"].append((pass_.name, elapsed))
         if result is None:
             raise RuntimeError(f"pass {pass_.name} returned None")
+
+        changed = not _unchanged(circuit, result)
+        if changed:
+            # a rewritten circuit invalidates everything not declared kept
+            if pass_.preserves != "all":
+                state.valid &= set(pass_.preserves)
+            state.size = result.size()
+            state.depth = result.depth()
+        state.valid -= set(pass_.invalidates)
+        state.valid |= set(provides)
+
+        properties["pass_times"].append((pass_.name, elapsed))
+        state.metrics.append(
+            PassMetrics(
+                name=pass_.name,
+                time=elapsed,
+                size_before=size_before,
+                size_after=state.size,
+                depth_before=depth_before,
+                depth_after=state.depth,
+                rewrites=rewrite_counter(properties)[pass_.name] - rewrites_before,
+                skipped=False,
+            )
+        )
         return result

@@ -197,21 +197,19 @@ def transpile(
 ) -> QuantumCircuit:
     """Compile ``circuit`` for a target device.
 
-    Either a ``backend`` (see :mod:`repro.backends`) or an explicit
-    ``coupling_map`` may be given; with neither, an all-to-all map of the
-    circuit's own width is assumed (no routing needed).
+    Thin wrapper kept for backward compatibility -- the batched,
+    pipeline-routing entry point lives in
+    :func:`repro.transpiler.frontend.transpile`.
     """
-    if backend is not None:
-        coupling_map = backend.coupling_map
-        backend_properties = backend.properties
-    if coupling_map is None:
-        coupling_map = CouplingMap.full(circuit.num_qubits)
-    pm = preset_pass_manager(
-        optimization_level,
-        coupling_map,
+    from repro.transpiler.frontend import transpile as frontend_transpile
+
+    return frontend_transpile(
+        circuit,
+        backend=backend,
+        coupling_map=coupling_map,
         backend_properties=backend_properties,
+        optimization_level=optimization_level,
         seed=seed,
-        basis=basis_gates,
+        basis_gates=basis_gates,
         initial_layout=initial_layout,
     )
-    return pm.run(circuit)

@@ -1,0 +1,150 @@
+"""StatevectorSimulator: sampling fast path vs per-shot trajectories.
+
+The simulator samples terminal-measurement circuits from the final
+distribution in one pass and falls back to full collapsing trajectories
+when it sees mid-circuit measurement.  These tests pin down the detection
+logic, collapse correctness, and the agreement of the two paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.simulators import StatevectorSimulator
+
+
+def _ghz(num_qubits: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, num_qubits)
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    circuit.measure_all()
+    return circuit
+
+
+class TestTerminalDetection:
+    def detect(self, circuit):
+        return StatevectorSimulator._measurements_are_terminal(circuit)
+
+    def test_terminal_measurements(self):
+        assert self.detect(_ghz(3))
+
+    def test_gate_after_measure_is_mid_circuit(self):
+        circuit = QuantumCircuit(1, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.x(0)
+        assert not self.detect(circuit)
+
+    def test_barrier_after_measure_stays_terminal(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.barrier()
+        circuit.measure(1, 1)
+        assert self.detect(circuit)
+
+    def test_gate_on_other_qubit_stays_terminal(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.measure(0, 0)
+        circuit.x(1)
+        circuit.measure(1, 1)
+        assert self.detect(circuit)
+
+    def test_remeasure_stays_terminal(self):
+        # re-measuring the same qubit is safe for the one-pass sampler: both
+        # clbits receive the same sampled outcome, which is exactly what a
+        # collapsing trajectory would produce
+        circuit = QuantumCircuit(1, 2)
+        circuit.measure(0, 0)
+        circuit.measure(0, 1)
+        assert self.detect(circuit)
+
+
+class TestCollapseCorrectness:
+    def test_mid_circuit_collapse_correlates_outcomes(self):
+        # h; measure; x; measure -- the second bit is always the complement
+        circuit = QuantumCircuit(1, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.x(0)
+        circuit.measure(0, 1)
+        counts = StatevectorSimulator(seed=7).run(circuit, shots=600)
+        assert set(counts) <= {"10", "01"}
+        assert sum(counts.values()) == 600
+        # both branches appear with roughly equal frequency
+        assert min(counts.values()) > 200
+
+    def test_mid_circuit_collapse_is_sticky(self):
+        # measuring twice without an intervening gate must agree
+        circuit = QuantumCircuit(1, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.measure(0, 1)
+        counts = StatevectorSimulator(seed=3).run(circuit, shots=400)
+        assert set(counts) <= {"00", "11"}
+
+    def test_collapse_renormalizes(self):
+        # biased state: p(1) = sin^2(0.4/2); conditioned branches stay valid
+        circuit = QuantumCircuit(2, 2)
+        circuit.ry(0.4, 0)
+        circuit.measure(0, 0)
+        circuit.cx(0, 1)
+        circuit.measure(1, 1)
+        counts = StatevectorSimulator(seed=11).run(circuit, shots=800)
+        assert set(counts) <= {"00", "11"}
+        p_one = np.sin(0.2) ** 2
+        assert counts.get("11", 0) / 800 == pytest.approx(p_one, abs=0.04)
+
+
+class TestPathAgreement:
+    @pytest.mark.parametrize("num_qubits", [2, 3])
+    def test_fast_path_and_trajectories_agree(self, num_qubits, monkeypatch):
+        circuit = _ghz(num_qubits)
+        shots = 3000
+
+        fast = StatevectorSimulator(seed=5).run(circuit, shots=shots)
+
+        monkeypatch.setattr(
+            StatevectorSimulator,
+            "_measurements_are_terminal",
+            staticmethod(lambda _circuit: False),
+        )
+        slow = StatevectorSimulator(seed=5).run(circuit, shots=shots)
+
+        zeros, ones = "0" * num_qubits, "1" * num_qubits
+        for counts in (fast, slow):
+            assert set(counts) == {zeros, ones}
+        for key in (zeros, ones):
+            assert fast[key] / shots == pytest.approx(0.5, abs=0.05)
+            assert slow[key] / shots == pytest.approx(0.5, abs=0.05)
+
+    def test_fast_path_used_for_terminal_circuit(self, monkeypatch):
+        """The one-pass sampler must not collapse state shot by shot."""
+        calls = {"n": 0}
+        original = StatevectorSimulator._measure
+
+        def counting_measure(self, state, qubit, num_qubits):
+            calls["n"] += 1
+            return original(self, state, qubit, num_qubits)
+
+        monkeypatch.setattr(StatevectorSimulator, "_measure", counting_measure)
+        StatevectorSimulator(seed=1).run(_ghz(2), shots=50)
+        assert calls["n"] == 0
+
+    def test_trajectory_path_collapses_per_shot(self, monkeypatch):
+        calls = {"n": 0}
+        original = StatevectorSimulator._measure
+
+        def counting_measure(self, state, qubit, num_qubits):
+            calls["n"] += 1
+            return original(self, state, qubit, num_qubits)
+
+        monkeypatch.setattr(StatevectorSimulator, "_measure", counting_measure)
+        circuit = QuantumCircuit(1, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.x(0)
+        circuit.measure(0, 1)
+        StatevectorSimulator(seed=1).run(circuit, shots=50)
+        assert calls["n"] == 100  # two collapsing measurements per shot

@@ -1,0 +1,193 @@
+"""Tests for the shared AnalysisCache and the standard-gate matrix table.
+
+Includes the headline acceptance check of the scheduler/cache rework: on
+the paper's Table II workloads, a pipeline run with a shared cache
+constructs far fewer matrices than the seed path did (which built one per
+``to_matrix()`` request), and a second run over the same cache constructs
+fewer still -- with bit-identical output circuits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    grover_circuit,
+    quantum_phase_estimation,
+    quantum_volume_circuit,
+    ry_ansatz,
+)
+from repro.backends import FakeMelbourne
+from repro.circuit import QuantumCircuit
+from repro.gates import CXGate, HGate, U1Gate, U3Gate, XGate
+from repro.gates.matrices import STANDARD_GATE_MATRICES, standard_gate_matrix
+from repro.rpo import rpo_pass_manager
+from repro.transpiler import AnalysisCache
+from repro.transpiler.passmanager import PropertySet
+
+
+class TestStandardGateTable:
+    def test_fixed_gates_share_one_matrix(self):
+        assert XGate().to_matrix() is XGate().to_matrix()
+        assert HGate().to_matrix() is standard_gate_matrix("h")
+        assert CXGate().to_matrix() is standard_gate_matrix("cx")
+
+    def test_table_matrices_are_immutable(self):
+        with pytest.raises(ValueError):
+            XGate().to_matrix()[0, 0] = 5.0
+
+    def test_table_matches_gate_semantics(self):
+        for name, matrix in STANDARD_GATE_MATRICES.items():
+            dim = matrix.shape[0]
+            assert np.allclose(matrix @ matrix.conj().T, np.eye(dim)), name
+
+    def test_open_control_not_table_backed(self):
+        open_cx = CXGate(ctrl_state=0)
+        matrix = open_cx.to_matrix()
+        assert matrix is not standard_gate_matrix("cx")
+        # X applied when control (qubit 0) is |0>: |00> <-> |10>
+        expected = np.eye(4, dtype=complex)[[2, 1, 0, 3]]
+        assert np.allclose(matrix, expected)
+
+
+class TestMatrixCache:
+    def test_hit_returns_same_object(self):
+        cache = AnalysisCache()
+        first = cache.matrix(U3Gate(0.1, 0.2, 0.3))
+        second = cache.matrix(U3Gate(0.1, 0.2, 0.3))
+        assert first is second
+        assert cache.stats["matrix_misses"] == 1
+        assert cache.stats["matrix_hits"] == 1
+
+    def test_distinct_params_distinct_entries(self):
+        cache = AnalysisCache()
+        a = cache.matrix(U1Gate(0.5))
+        b = cache.matrix(U1Gate(0.6))
+        assert not np.allclose(a, b)
+        assert cache.stats["matrix_misses"] == 2
+
+    def test_table_gates_are_not_constructions(self):
+        cache = AnalysisCache()
+        cache.matrix(XGate())
+        cache.matrix(XGate())
+        assert cache.stats["matrix_table"] == 2
+        assert cache.matrix_constructions == 0
+
+    def test_unitary_gate_uncached(self):
+        from repro.gates import UnitaryGate
+
+        cache = AnalysisCache()
+        gate = UnitaryGate(np.eye(2))
+        cache.matrix(gate)
+        cache.matrix(gate)
+        assert cache.stats["matrix_uncached"] == 2
+
+    def test_cached_matrix_matches_to_matrix(self):
+        cache = AnalysisCache()
+        for gate in (U3Gate(1.0, 2.0, 3.0), U1Gate(0.25), CXGate()):
+            assert np.allclose(cache.matrix(gate), gate.to_matrix())
+
+
+class TestCircuitViews:
+    def _swap_pair_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.swap(0, 1)
+        circuit.h(2)
+        return circuit
+
+    def test_adjacency_cached_by_structure(self):
+        from repro.rpo.adjacency import same_pair_adjacent_indices
+
+        cache = AnalysisCache()
+        circuit = self._swap_pair_circuit()
+        first = cache.same_pair_adjacency(circuit)
+        assert first == same_pair_adjacent_indices(circuit)
+        # an equal-structure copy hits without recomputation
+        cache.same_pair_adjacency(circuit.copy())
+        assert cache.stats["adjacency_hits"] == 1
+        assert cache.stats["adjacency_misses"] == 1
+
+    def test_adjacency_distinguishes_structures(self):
+        cache = AnalysisCache()
+        cache.same_pair_adjacency(self._swap_pair_circuit())
+        other = self._swap_pair_circuit()
+        other.x(2)
+        cache.same_pair_adjacency(other)
+        assert cache.stats["adjacency_misses"] == 2
+
+    def test_wire_indices(self):
+        cache = AnalysisCache()
+        circuit = self._swap_pair_circuit()
+        wires = cache.wire_indices(circuit)
+        assert wires == {0: [0, 1], 1: [0, 1], 2: [2]}
+        cache.wire_indices(circuit.copy())
+        assert cache.stats["wire_indices_hits"] == 1
+
+    def test_circuit_views_are_bounded(self):
+        from repro.transpiler.cache import _MAX_CIRCUIT_VIEWS
+
+        cache = AnalysisCache()
+        for width in range(_MAX_CIRCUIT_VIEWS + 10):
+            cache.wire_indices(QuantumCircuit(width % 100 + 1, width))
+        assert len(cache._wire_indices) <= _MAX_CIRCUIT_VIEWS
+
+    def test_dag_cached_by_identity(self):
+        cache = AnalysisCache()
+        circuit = self._swap_pair_circuit()
+        dag = cache.dag(circuit)
+        assert cache.dag(circuit) is dag
+        # a copy shares instruction objects -> same structural identity
+        assert cache.dag(circuit.copy()) is dag
+        assert cache.stats["dag_misses"] == 1
+
+
+def _table2_workloads():
+    return [
+        ("qpe", quantum_phase_estimation(3)),
+        ("vqe", ry_ansatz(4, depth=2, seed=11)),
+        ("qv", quantum_volume_circuit(4, seed=5)),
+        ("grover", grover_circuit(3, marked=5, iterations=1)),
+    ]
+
+
+def _run_rpo(circuit, backend, cache=None, seed=0):
+    pm = rpo_pass_manager(
+        backend.coupling_map, backend_properties=backend.properties, seed=seed
+    )
+    return pm.run_with_result(
+        circuit.copy(), PropertySet(), analysis_cache=cache
+    )
+
+
+def _assert_identical(a: QuantumCircuit, b: QuantumCircuit):
+    assert abs(a.global_phase - b.global_phase) < 1e-9
+    assert len(a.data) == len(b.data)
+    for inst_a, inst_b in zip(a.data, b.data):
+        assert inst_a.operation.name == inst_b.operation.name
+        assert inst_a.qubits == inst_b.qubits
+        assert inst_a.clbits == inst_b.clbits
+        assert np.allclose(inst_a.operation.params, inst_b.operation.params)
+
+
+class TestSharedCacheAcceptance:
+    """The acceptance criterion of the scheduler/cache rework."""
+
+    @pytest.mark.parametrize("name,circuit", _table2_workloads(), ids=lambda v: v if isinstance(v, str) else "")
+    def test_second_run_constructs_fewer_matrices(self, name, circuit):
+        backend = FakeMelbourne()
+        shared = AnalysisCache()
+
+        first = _run_rpo(circuit, backend, cache=shared)
+        first_constructions = shared.matrix_constructions
+        first_requests = shared.matrix_requests
+        # the seed path built one matrix per request; the cache must beat it
+        assert 0 < first_constructions < first_requests
+
+        second = _run_rpo(circuit, backend, cache=shared)
+        second_constructions = shared.matrix_constructions - first_constructions
+        assert second_constructions < first_constructions
+
+        # caching must not change the compiled circuits
+        fresh = _run_rpo(circuit, backend, cache=AnalysisCache())
+        _assert_identical(first.circuit, fresh.circuit)
+        _assert_identical(second.circuit, fresh.circuit)

@@ -1,0 +1,213 @@
+"""Tests for the requirements-aware scheduler and TranspileResult metrics."""
+
+import threading
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.transpiler import PassManager, TranspilerError
+from repro.transpiler.passmanager import (
+    AnalysisPass,
+    DoWhileController,
+    PropertySet,
+    TransformationPass,
+    TranspileResult,
+)
+from repro.transpiler.passes import CXCancellation, FixedPoint, Size
+
+
+class Noop(TransformationPass):
+    def transform(self, circuit, props):
+        return circuit
+
+
+class RebuildUnchanged(TransformationPass):
+    """Returns a fresh but structurally identical circuit."""
+
+    def transform(self, circuit, props):
+        return circuit.copy()
+
+
+class AddX(TransformationPass):
+    def transform(self, circuit, props):
+        out = circuit.copy()
+        out.x(0)
+        return out
+
+
+class NeedsLayout(TransformationPass):
+    requires = ("layout",)
+
+    def transform(self, circuit, props):
+        return circuit
+
+
+class TestTranspileResult:
+    def test_run_with_result_shape(self):
+        pm = PassManager([Size(), AddX(), Size()])
+        result = pm.run_with_result(QuantumCircuit(1))
+        assert isinstance(result, TranspileResult)
+        assert result.circuit.size() == 1
+        assert result.properties["size"] == 1
+        assert [m.name for m in result.metrics] == ["Size", "AddX", "Size"]
+        assert result.time > 0
+
+    def test_metrics_record_gate_and_depth_delta(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        pm = PassManager([CXCancellation()])
+        result = pm.run_with_result(circuit)
+        (metric,) = result.metrics
+        assert metric.size_before == 2
+        assert metric.size_after == 0
+        assert metric.size_delta == -2
+        assert metric.depth_delta == -2
+        assert metric.rewrites == 1  # one cancelled pair
+
+    def test_run_returns_circuit(self):
+        pm = PassManager([AddX()])
+        out = pm.run(QuantumCircuit(1))
+        assert isinstance(out, QuantumCircuit)
+        assert out.size() == 1
+
+    def test_pass_times_still_in_properties(self):
+        properties = PropertySet()
+        PassManager([Noop()]).run(QuantumCircuit(1), properties)
+        assert [name for name, _ in properties["pass_times"]] == ["Noop"]
+
+
+class TestAnalysisSkipping:
+    def test_second_identical_analysis_skipped(self):
+        pm = PassManager([Size(), Size()])
+        result = pm.run_with_result(QuantumCircuit(1))
+        assert [m.skipped for m in result.metrics] == [False, True]
+
+    def test_analysis_stays_valid_across_unchanged_transform(self):
+        pm = PassManager([Size(), RebuildUnchanged(), Size()])
+        result = pm.run_with_result(QuantumCircuit(1))
+        assert [m.skipped for m in result.metrics] == [False, False, True]
+
+    def test_changed_transform_invalidates(self):
+        pm = PassManager([Size(), AddX(), Size()])
+        result = pm.run_with_result(QuantumCircuit(1))
+        assert [m.skipped for m in result.metrics] == [False, False, False]
+        assert result.properties["size"] == 1
+
+    def test_skipped_analysis_keeps_property_correct(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        pm = PassManager([Size(), Noop(), Size()])
+        result = pm.run_with_result(circuit)
+        assert result.metrics[2].skipped
+        assert result.properties["size"] == 1
+
+    def test_fixed_point_never_skipped(self):
+        # FixedPoint is stateful: skipping it would stall the level-3 loop
+        pm = PassManager([Size(), FixedPoint("size"), Size(), FixedPoint("size")])
+        result = pm.run_with_result(QuantumCircuit(1))
+        skipped = {m.name: m.skipped for m in result.metrics if "FixedPoint" in m.name}
+        assert skipped == {"FixedPoint(size)": False}
+        assert result.properties["size_fixed_point"]
+
+
+class TestRequires:
+    def test_missing_requirement_raises(self):
+        pm = PassManager([NeedsLayout()])
+        with pytest.raises(TranspilerError, match="requires property 'layout'"):
+            pm.run(QuantumCircuit(1))
+
+    def test_requirement_satisfied_by_property(self):
+        properties = PropertySet()
+        properties["layout"] = object()
+        PassManager([NeedsLayout()]).run(QuantumCircuit(1), properties)
+
+
+class TestLoopMetrics:
+    def _counting_loop(self, max_iterations=10, stop_after=3):
+        class Count(AnalysisPass):
+            def analyze(self, circuit, props):
+                props["n"] = props.get("n", 0) + 1
+
+        return DoWhileController(
+            [Count()],
+            do_while=lambda ps: ps["n"] < stop_after,
+            max_iterations=max_iterations,
+        )
+
+    def test_converged_loop(self):
+        pm = PassManager([self._counting_loop(stop_after=3)])
+        result = pm.run_with_result(QuantumCircuit(1))
+        (loop,) = result.loops
+        assert loop.iterations == 3
+        assert loop.converged
+        assert len(loop.iteration_times) == 3
+        assert all(t >= 0 for t in loop.iteration_times)
+        assert loop.time >= sum(loop.iteration_times)
+
+    def test_exhausted_loop_not_converged(self):
+        pm = PassManager([self._counting_loop(max_iterations=2, stop_after=99)])
+        result = pm.run_with_result(QuantumCircuit(1))
+        (loop,) = result.loops
+        assert loop.iterations == 2
+        assert not loop.converged
+
+    def test_loop_metrics_mirrored_in_properties(self):
+        pm = PassManager([self._counting_loop()])
+        result = pm.run_with_result(QuantumCircuit(1))
+        assert result.properties["loop_metrics"] == result.loops
+
+
+class TestConcurrency:
+    def test_concurrent_runs_do_not_race(self):
+        """Satellite: one manager, many threads, isolated results."""
+
+        class RecordWidth(AnalysisPass):
+            def analyze(self, circuit, props):
+                props["width"] = circuit.num_qubits
+
+        pm = PassManager([RecordWidth(), AddX()])
+        results: dict[int, TranspileResult] = {}
+
+        def work(width: int) -> None:
+            for _ in range(20):
+                results[width] = pm.run_with_result(QuantumCircuit(width))
+
+        threads = [threading.Thread(target=work, args=(w,)) for w in (1, 2, 3, 4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for width, result in results.items():
+            assert result.properties["width"] == width
+            assert result.circuit.num_qubits == width
+
+    def test_parallel_batch_rewrite_counts_match_sequential(self):
+        """Rewrite metrics are per-run state: no cross-thread bleed."""
+        from repro.backends import FakeMelbourne
+        from repro.transpiler import transpile
+
+        backend = FakeMelbourne()
+        circuit = QuantumCircuit(3, 3)
+        circuit.x(1)
+        circuit.h(2)
+        circuit.cx(0, 2)
+        circuit.cx(1, 2)
+        circuit.measure_all()
+
+        def total(results):
+            return sum(m.rewrites for r in results for m in r.metrics)
+
+        kwargs = dict(
+            backend=backend, pipeline="rpo", seed=[0, 1, 2, 3], full_result=True
+        )
+        sequential = transpile([circuit.copy() for _ in range(4)], max_workers=1, **kwargs)
+        parallel = transpile([circuit.copy() for _ in range(4)], max_workers=4, **kwargs)
+        assert total(sequential) == total(parallel) > 0
+
+    def test_property_set_alias_deprecated(self):
+        pm = PassManager([Noop()])
+        pm.run(QuantumCircuit(1))
+        with pytest.warns(DeprecationWarning):
+            properties = pm.property_set
+        assert "pass_times" in properties
