@@ -30,7 +30,10 @@ from repro.transpiler.passes import (
     Unroller,
 )
 
-from .common import transpile_stats
+try:
+    from .common import print_table
+except ImportError:  # executed as a script: benchmarks/ is on sys.path
+    from common import print_table
 
 
 def custom_pipeline(backend, seed=0, qbo_early=False, qbo_late=False, qpo=False,
@@ -159,3 +162,51 @@ def test_a3_swap_rewrite_costs():
     both.x(1)
     both.swap(0, 1)
     assert cx_cost(QBOPass().run(both, PropertySet())) == 0
+
+
+def main(argv=None):
+    """Script entry point: run the A1 pass-composition ablation once per
+    variant; ``--quick`` shrinks the workload and ``--metrics-json PATH``
+    writes per-variant gate counts, times and per-pass aggregates."""
+    import argparse
+
+    from repro.transpiler import aggregate_batch, write_metrics_json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller QPE workload")
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the per-variant ablation report to PATH as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    backend = FakeMelbourne()
+    circuit = quantum_phase_estimation(4 if args.quick else 5)
+    rows = []
+    variants = {}
+    for variant in sorted(VARIANTS):
+        pm = custom_pipeline(backend, **VARIANTS[variant])
+        result = pm.run_with_result(circuit.copy(), PropertySet())
+        ops = result.circuit.count_ops()
+        rows.append(
+            [
+                variant,
+                ops.get("cx", 0),
+                result.circuit.depth(),
+                f"{result.time * 1000:.1f}ms",
+            ]
+        )
+        variants[variant] = aggregate_batch([result])
+    print_table("A1: pass composition", ["variant", "cx", "depth", "time"], rows)
+
+    if args.metrics_json:
+        write_metrics_json(
+            args.metrics_json,
+            {"suite": "ablations_a1", "quick": args.quick, "variants": variants},
+        )
+        print(f"\nmetrics written to {args.metrics_json}")
+
+
+if __name__ == "__main__":
+    main()

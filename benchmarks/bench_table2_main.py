@@ -17,9 +17,23 @@ from repro.algorithms import (
 from repro.backends import FakeMelbourne
 
 try:
-    from .common import FULL, print_table, run_once, transpile_stats
+    from .common import (
+        FULL,
+        batch_metrics_report,
+        mean_time_by_config,
+        print_table,
+        run_once,
+        transpile_stats,
+    )
 except ImportError:  # executed as a script: benchmarks/ is on sys.path
-    from common import FULL, print_table, run_once, transpile_stats
+    from common import (
+        FULL,
+        batch_metrics_report,
+        mean_time_by_config,
+        print_table,
+        run_once,
+        transpile_stats,
+    )
 
 SIZES = [4, 6, 8, 10, 12, 14] if FULL else [4, 6, 8]
 CONFIG_NAMES = ["level3", "hoare", "rpo"]
@@ -60,8 +74,15 @@ def test_table2(benchmark, melbourne, workload, num_qubits, config):
 
 def main(argv=None):
     """Script entry point; ``--quick`` runs a CI smoke subset (one size,
-    one seed per configuration)."""
+    one seed per configuration).  ``--metrics-json PATH`` additionally
+    writes a machine-readable report: the per-row stats, per-config mean
+    times, and the batched (shared-cache) metrics the CI regression gate
+    (``benchmarks/check_regression.py``) diffs against
+    ``benchmarks/baseline_quick.json``."""
     import argparse
+
+    from repro.transpiler import EXECUTORS, write_metrics_json
+    from repro.transpiler.metrics import METRICS_SCHEMA_VERSION
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -69,18 +90,38 @@ def main(argv=None):
         action="store_true",
         help="smoke mode: 4-qubit workloads, a single routing seed",
     )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the aggregated metrics report to PATH as JSON",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="auto",
+        help="executor backend for the batched (shared-cache) measurement",
+    )
     args = parser.parse_args(argv)
 
     sizes = [4] if args.quick else SIZES
     num_seeds = 1 if args.quick else None
     backend = FakeMelbourne()
     rows = []
+    display_rows = []
     for workload in ("qpe", "vqe", "qv", "grover"):
         for num_qubits in sizes:
             circuit = make_workload(workload, num_qubits)
             for config in CONFIG_NAMES:
                 stats = transpile_stats(config, circuit, backend, num_seeds=num_seeds)
                 rows.append(
+                    {
+                        "workload": workload,
+                        "qubits": num_qubits,
+                        "config": config,
+                        **stats,
+                    }
+                )
+                display_rows.append(
                     [
                         workload,
                         num_qubits,
@@ -94,8 +135,30 @@ def main(argv=None):
     print_table(
         "Table II (melbourne)",
         ["workload", "qubits", "config", "cx", "1q", "depth", "time"],
-        rows,
+        display_rows,
     )
+
+    if args.metrics_json:
+        circuits = [
+            make_workload(workload, num_qubits)
+            for workload in ("qpe", "vqe", "qv", "grover")
+            for num_qubits in sizes
+        ]
+        report = {
+            "schema": METRICS_SCHEMA_VERSION,
+            "suite": "table2_quick" if args.quick else "table2",
+            "quick": args.quick,
+            "rows": rows,
+            "mean_time_by_config": mean_time_by_config(rows),
+            "batched": {
+                config: batch_metrics_report(
+                    config, circuits, backend, executor=args.executor
+                )
+                for config in CONFIG_NAMES
+            },
+        }
+        write_metrics_json(args.metrics_json, report)
+        print(f"\nmetrics written to {args.metrics_json}")
 
 
 if __name__ == "__main__":

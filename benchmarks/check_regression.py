@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI regression gate: diff a metrics report against the checked-in baseline.
+
+Compares the report written by ``bench_table2_main.py --quick --metrics-json``
+against ``benchmarks/baseline_quick.json`` and exits non-zero when either
+
+* an optimized gate count (``cx`` / ``1q``) of any benchmark row regresses
+  more than the tolerance (default 20%), or
+* a pipeline's mean transpile time, *normalized by the same run's level3
+  mean* so machine speed cancels out, regresses more than the tolerance.
+
+Refreshing the baseline after an intentional change::
+
+    python benchmarks/bench_table2_main.py --quick \
+        --metrics-json benchmarks/baseline_quick.json
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json [BASELINE.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.transpiler import compare_metrics, load_metrics_json
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline_quick.json")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="metrics JSON produced by this run")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=DEFAULT_BASELINE,
+        help=f"baseline metrics JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--gate-tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative growth of optimized gate counts (default 0.20)",
+    )
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative growth of normalized mean transpile time "
+        "(default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_metrics_json(args.current)
+    baseline = load_metrics_json(args.baseline)
+    failures = compare_metrics(
+        current,
+        baseline,
+        gate_tolerance=args.gate_tolerance,
+        time_tolerance=args.time_tolerance,
+    )
+    if failures:
+        print(f"REGRESSIONS vs {args.baseline}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    rows = len(current.get("rows", []))
+    print(f"regression gate passed: {rows} rows within tolerance of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,11 +20,12 @@ counts (the default is a fast configuration suitable for CI).
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
 from repro.backends import FakeAlmaden, FakeMelbourne, FakeRochester
-from repro.transpiler import transpile
+from repro.transpiler import AnalysisCache, aggregate_batch, transpile
 
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
@@ -80,6 +81,61 @@ def transpile_stats(config: str, circuit, backend, num_seeds: int = None) -> dic
         "1q": int(np.median(one_q)),
         "depth": int(np.median(depth)),
         "time": float(np.median(times)),
+    }
+
+
+def batch_metrics_report(
+    config: str,
+    circuits,
+    backend,
+    executor: str = "auto",
+    num_seeds: int = 1,
+    max_workers: int | None = None,
+) -> dict:
+    """One *batched* transpile over a shared cache, rolled up into a
+    JSON-ready metrics report (:func:`repro.transpiler.aggregate_batch`).
+
+    This is the serving-shaped measurement the per-seed cold runs of
+    :func:`transpile_stats` deliberately avoid: the whole batch shares one
+    :class:`~repro.transpiler.AnalysisCache` (across processes too, under
+    ``executor="process"``), and the report records batch wall-clock,
+    per-pass aggregates and cache hit rates.
+    """
+    batch, seeds = [], []
+    for circuit in circuits:
+        for seed in range(num_seeds):
+            batch.append(circuit.copy())
+            seeds.append(seed)
+    cache = AnalysisCache()
+    start = time.perf_counter()
+    results = transpile(
+        batch,
+        backend=backend,
+        pipeline=CONFIGS[config],
+        seed=seeds,
+        executor=executor,
+        max_workers=max_workers,
+        analysis_cache=cache,
+        full_result=True,
+    )
+    wall_time = time.perf_counter() - start
+    return aggregate_batch(
+        results, cache=cache, executor=executor, wall_time=wall_time
+    )
+
+
+def mean_time_by_config(rows) -> dict:
+    """Per-config mean of the ``time`` cells of benchmark row dicts.
+
+    The regression gate (:func:`repro.transpiler.compare_metrics`) compares
+    these *normalized by the run's own level3 mean*, so machine speed
+    cancels out of CI comparisons.
+    """
+    totals: dict[str, list[float]] = {}
+    for row in rows:
+        totals.setdefault(row["config"], []).append(row["time"])
+    return {
+        config: float(np.mean(times)) for config, times in sorted(totals.items())
     }
 
 

@@ -19,13 +19,17 @@ Transpile API
 
     compiled = transpile(circuit, backend=backend, pipeline="rpo", seed=0)
 
-    # batches fan out across a worker pool and share one AnalysisCache,
-    # so repeated workloads skip most matrix constructions
+    # batches fan out across a pluggable executor and share one
+    # AnalysisCache, so repeated workloads skip most matrix constructions.
+    # executor="auto" (default) picks serial/thread/process by batch size,
+    # circuit width and host cores; "process" warm-starts workers from the
+    # cache's snapshot and merges their deltas back.
     compiled_batch = transpile(
         [circuit_a, circuit_b, circuit_c],
         backend=backend,
         pipeline="rpo",
         seed=[0, 1, 2],
+        executor="auto",
     )
 
     # full_result=True returns TranspileResult objects carrying the
@@ -34,6 +38,21 @@ Transpile API
     result = transpile(circuit, backend=backend, pipeline="rpo",
                        full_result=True)
     print(result.metrics[0], result.loops)
+
+    # aggregate_batch rolls a batch's metrics into one JSON-ready report
+    # (benchmarks/check_regression.py gates CI on these)
+    from repro.transpiler import AnalysisCache, aggregate_batch, write_metrics_json
+
+    cache = AnalysisCache()
+    results = transpile(
+        [circuit_a, circuit_b, circuit_c],
+        backend=backend,
+        pipeline="rpo",
+        analysis_cache=cache,
+        full_result=True,
+    )
+    report = aggregate_batch(results, cache=cache)
+    write_metrics_json("metrics.json", report)
 """
 
 from repro import transpile
@@ -78,14 +97,34 @@ def main():
           f"converged={loop.converged}")
 
     # batched transpile: the seeds run concurrently and share one
-    # AnalysisCache, so the repeats construct almost no new matrices
-    batch = transpile(
+    # AnalysisCache, so the repeats construct almost no new matrices.
+    # executor="auto" would promote large batches of wide circuits to a
+    # process pool; this little batch stays on threads.
+    from repro.transpiler import AnalysisCache, aggregate_batch
+
+    cache = AnalysisCache()
+    batch_results = transpile(
         [circuit.copy() for _ in range(3)],
         backend=backend,
         pipeline="rpo",
         seed=[0, 1, 2],
+        executor="auto",
+        analysis_cache=cache,
+        full_result=True,
     )
-    print("batched CNOT counts:", [c.count_ops().get("cx", 0) for c in batch])
+    print(
+        "batched CNOT counts:",
+        [r.circuit.count_ops().get("cx", 0) for r in batch_results],
+    )
+
+    # the per-pass metrics of the whole batch roll up into one JSON-ready
+    # report -- the same shape the CI regression gate diffs
+    report = aggregate_batch(batch_results, cache=cache, executor="auto")
+    print(
+        f"batch: {report['num_circuits']} circuits in "
+        f"{report['time']['total'] * 1000:.1f}ms of compile time, "
+        f"matrix cache hit rate {report['cache']['matrix_hit_rate']:.0%}"
+    )
 
     simulator = StatevectorSimulator(seed=1)
     print("\nlevel3 counts:", dict(simulator.run(level3, shots=1000)))

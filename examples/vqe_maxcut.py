@@ -30,6 +30,21 @@ def main():
             f"depth {compiled.depth()}"
         )
 
+    # a parameter sweep is a natural batch: one transpile() call compiles
+    # every candidate over a shared analysis cache, and executor="auto"
+    # promotes big sweeps on multi-core hosts to a process pool
+    sweep = [
+        ry_ansatz(num_qubits, depth=2, seed=s, measure=True) for s in range(8)
+    ]
+    compiled_sweep = transpile(
+        sweep,
+        backend=backend,
+        pipeline="rpo",
+        seed=list(range(8)),
+        executor="auto",
+    )
+    print(f"\nsweep: compiled {len(compiled_sweep)} candidate ansatzes in one batch")
+
 
 if __name__ == "__main__":
     main()

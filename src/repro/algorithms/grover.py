@@ -17,7 +17,7 @@ designs are provided:
 from __future__ import annotations
 
 from repro.circuit.quantumcircuit import QuantumCircuit
-from repro.gates import MCZGate, XGate
+from repro.gates import MCZGate
 
 __all__ = ["grover_circuit"]
 

@@ -24,6 +24,7 @@ from repro.circuit.dag import DAGCircuit, DAGNode
 from repro.circuit.converters import circuit_to_dag, dag_to_circuit
 from repro.circuit.compact import remove_idle_qubits
 from repro.circuit.qasm import to_qasm, from_qasm
+from repro.circuit.serialization import circuit_from_payload, circuit_to_payload
 
 __all__ = [
     "Instruction",
@@ -40,4 +41,6 @@ __all__ = [
     "remove_idle_qubits",
     "to_qasm",
     "from_qasm",
+    "circuit_to_payload",
+    "circuit_from_payload",
 ]

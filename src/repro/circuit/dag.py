@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
-from typing import Callable, Iterable, Iterator
+from typing import Iterator
 
 import networkx as nx
 

@@ -112,6 +112,24 @@ class Instruction:
     def copy(self) -> "Instruction":
         return _copy.deepcopy(self)
 
+    def __getstate__(self):
+        """Drop the memoized definition when the class can rebuild it.
+
+        Definitions are derived data for every class that overrides
+        :meth:`_define`; stripping them keeps pickles (and the process-pool
+        payloads of :mod:`repro.circuit.serialization`) small.  Plain
+        :class:`Gate`/:class:`Instruction` objects whose ``_definition`` was
+        assigned directly (e.g. by :meth:`inverse`) keep it -- for them it
+        is the only record of the operation's semantics.
+        """
+        state = self.__dict__.copy()
+        if (
+            state.get("_definition") is not None
+            and type(self)._define is not Instruction._define
+        ):
+            state["_definition"] = None
+        return state
+
     # -- comparison / display ------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

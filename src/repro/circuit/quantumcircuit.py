@@ -9,7 +9,6 @@ circular dependency between gate definitions and circuits).
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from typing import Iterable, NamedTuple, Sequence
 

@@ -1,0 +1,204 @@
+"""Compact, process-portable circuit payloads.
+
+The process-pool executor of :mod:`repro.transpiler.frontend` ships circuits
+to worker processes and optimized circuits back.  Plain ``pickle`` of a
+:class:`~repro.circuit.quantumcircuit.QuantumCircuit` works but is wasteful:
+every gate object pickles its class closure, and memoized ``_definition``
+sub-circuits multiply the payload size.  This module flattens a circuit to a
+small tuple tree of primitives:
+
+* distinct operations are serialized once into an operation table (standard
+  gates reduce to ``(class_name, params, ctrl_state)`` specs; arbitrary
+  unitaries keep their matrix; anything unknown falls back to the object
+  itself, which the surrounding pickle handles);
+* instructions reference the table by index, so the per-instruction cost is
+  three small tuples;
+* reconstruction shares one gate object per table entry, preserving the
+  operation-identity sharing the DAG cache keys on.
+
+Round-trips preserve structure exactly: wire counts, global phase, operation
+names/parameters/control states, qubit and clbit arguments.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.instruction import Instruction
+from repro.circuit.quantumcircuit import QuantumCircuit
+
+__all__ = ["circuit_to_payload", "circuit_from_payload", "PAYLOAD_VERSION"]
+
+PAYLOAD_VERSION = 1
+
+#: Gate classes reconstructed as ``cls()``.
+_NO_ARG = frozenset(
+    {
+        "IGate", "XGate", "YGate", "ZGate", "HGate", "SGate", "SdgGate",
+        "TGate", "TdgGate", "SXGate",
+        "SwapGate", "SwapZGate", "ISwapGate", "CSwapGate",
+        "Measure", "Reset",
+    }
+)
+
+#: Gate classes reconstructed as ``cls(*params)``.
+_PARAM_ONLY = frozenset(
+    {"U1Gate", "U2Gate", "U3Gate", "RXGate", "RYGate", "RZGate", "Annotation"}
+)
+
+#: Controlled gates reconstructed as ``cls(ctrl_state=...)``.
+_CTRL_ONLY = frozenset({"CXGate", "CYGate", "CZGate", "CHGate", "CCXGate", "CCZGate"})
+
+#: Controlled gates reconstructed as ``cls(*params, ctrl_state=...)``.
+_PARAM_CTRL = frozenset({"CPhaseGate", "CRXGate", "CRYGate", "CRZGate", "CU3Gate"})
+
+
+def _gate_classes():
+    """Name -> class map of every registry-serializable operation."""
+    import repro.gates as gates
+
+    names = _NO_ARG | _PARAM_ONLY | _CTRL_ONLY | _PARAM_CTRL
+    names |= {"MCU1Gate", "MCXGate", "MCZGate", "MCXVChainGate", "Barrier"}
+    table = {name: getattr(gates, name) for name in names if hasattr(gates, name)}
+    table["Annotation"] = gates.Annotation
+    return table
+
+
+_CLASSES = None
+
+
+def _classes():
+    global _CLASSES
+    if _CLASSES is None:
+        _CLASSES = _gate_classes()
+    return _CLASSES
+
+
+def _operation_spec(operation: Instruction):
+    """Primitive spec of ``operation``, or ``None`` if not registry-backed.
+
+    Every spec ends with the operation's label (usually ``None``) so
+    labeled and unlabeled gates neither collide in the dedup table nor
+    lose their label across the process boundary.
+    """
+    base = _base_spec(operation)
+    if base is None:
+        return None
+    return (*base, operation.label)
+
+
+def _base_spec(operation: Instruction):
+    cls = type(operation).__name__
+    params = tuple(
+        float(p) for p in operation.params
+        if isinstance(p, (int, float)) and not isinstance(p, bool)
+    )
+    if len(params) != len(operation.params):
+        return None  # symbolic / matrix-valued parameters: fall back
+    if cls in _NO_ARG:
+        return (cls,)
+    if cls == "Barrier":
+        return (cls, operation.num_qubits)
+    if cls in _PARAM_ONLY:
+        return (cls, params)
+    if cls in _CTRL_ONLY:
+        return (cls, operation.ctrl_state)
+    if cls in _PARAM_CTRL:
+        return (cls, params, operation.ctrl_state)
+    if cls in ("MCXGate", "MCZGate"):
+        return (cls, operation.num_ctrl_qubits, operation.ctrl_state)
+    if cls == "MCU1Gate":
+        return (cls, params[0], operation.num_ctrl_qubits, operation.ctrl_state)
+    if cls == "MCXVChainGate":
+        return (cls, operation.num_ctrl_qubits)
+    return None
+
+
+def _build_operation(spec) -> Instruction:
+    cls_name = spec[0]
+    if cls_name == "unitary":
+        from repro.gates import UnitaryGate
+
+        return UnitaryGate(spec[1], label=spec[2])
+    if cls_name == "raw":
+        return spec[1]
+    *spec, label = spec
+    operation = _build_registry_operation(spec)
+    if label is not None:
+        operation.label = label
+    return operation
+
+
+def _build_registry_operation(spec) -> Instruction:
+    cls_name = spec[0]
+    cls = _classes()[cls_name]
+    if cls_name in _NO_ARG:
+        return cls()
+    if cls_name == "Barrier":
+        return cls(spec[1])
+    if cls_name in _PARAM_ONLY:
+        return cls(*spec[1])
+    if cls_name in _CTRL_ONLY:
+        return cls(ctrl_state=spec[1])
+    if cls_name in _PARAM_CTRL:
+        return cls(*spec[1], ctrl_state=spec[2])
+    if cls_name in ("MCXGate", "MCZGate"):
+        return cls(spec[1], ctrl_state=spec[2])
+    if cls_name == "MCU1Gate":
+        return cls(spec[1], spec[2], ctrl_state=spec[3])
+    if cls_name == "MCXVChainGate":
+        return cls(spec[1])
+    raise ValueError(f"unknown operation spec {spec!r}")  # pragma: no cover
+
+
+def circuit_to_payload(circuit: QuantumCircuit) -> tuple:
+    """Flatten ``circuit`` into a compact picklable tuple tree."""
+    from repro.gates import UnitaryGate
+
+    table: list = []
+    by_spec: dict = {}  # hashable spec -> table index
+    by_id: dict[int, int] = {}  # operation identity -> table index
+    data = []
+    for instruction in circuit.data:
+        operation = instruction.operation
+        index = by_id.get(id(operation))
+        if index is None:
+            spec = _operation_spec(operation)
+            if spec is not None:
+                index = by_spec.get(spec)
+                if index is None:
+                    index = len(table)
+                    table.append(spec)
+                    by_spec[spec] = index
+            elif isinstance(operation, UnitaryGate):
+                index = len(table)
+                table.append(("unitary", operation._matrix, operation.label))
+            else:
+                # exotic operation: let the surrounding pickle carry the
+                # object (Instruction.__getstate__ keeps it lean)
+                index = len(table)
+                table.append(("raw", operation))
+            by_id[id(operation)] = index
+        data.append((index, instruction.qubits, instruction.clbits))
+    return (
+        PAYLOAD_VERSION,
+        circuit.name,
+        circuit.num_qubits,
+        circuit.num_clbits,
+        circuit.global_phase,
+        tuple(table),
+        tuple(data),
+    )
+
+
+def circuit_from_payload(payload: tuple) -> QuantumCircuit:
+    """Rebuild the :class:`QuantumCircuit` a payload describes."""
+    from repro.circuit.quantumcircuit import CircuitInstruction
+
+    version, name, num_qubits, num_clbits, phase, table, data = payload
+    if version != PAYLOAD_VERSION:
+        raise ValueError(f"unsupported circuit payload version {version}")
+    operations = [_build_operation(spec) for spec in table]
+    circuit = QuantumCircuit(num_qubits, num_clbits, name=name, global_phase=phase)
+    append = circuit.data.append
+    for index, qubits, clbits in data:
+        append(CircuitInstruction(operations[index], tuple(qubits), tuple(clbits)))
+    return circuit

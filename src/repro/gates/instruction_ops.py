@@ -9,8 +9,6 @@ the state-analysis passes consume it to re-enter tracked states (e.g. clean
 
 from __future__ import annotations
 
-import math
-
 from repro.circuit.instruction import Instruction
 
 __all__ = ["Measure", "Reset", "Barrier", "Annotation"]

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.circuit.instruction import Gate
 from repro.gates.matrices import standard_gate_matrix
 

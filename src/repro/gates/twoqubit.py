@@ -8,10 +8,6 @@ exactly the kind of relaxed (functional, not unitary) rewrite RPO performs.
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
-
 from repro.circuit.instruction import ControlledGate, Gate
 from repro.gates.matrices import standard_gate_matrix
 from repro.gates.parametric import RYGate, RZGate, U1Gate, U3Gate

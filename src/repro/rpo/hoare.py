@@ -293,7 +293,8 @@ class HoareOptimizer(TransformationPass):
         if name in ("mcx", "ccx", "cx", "x") and self._is_closed(operation):
             self._apply_mcx(qubits[:-1], qubits[-1])
             return
-        if name in ("mcz", "ccz", "cz", "z", "mcu1", "cp", "u1", "s", "sdg", "t", "tdg", "rz") and self._is_closed(operation):
+        diagonal = ("mcz", "ccz", "cz", "z", "mcu1", "cp", "u1", "s", "sdg", "t", "tdg", "rz")
+        if name in diagonal and self._is_closed(operation):
             return  # diagonal: support unchanged
         if name == "swap":
             self._apply_swap(*qubits)

@@ -67,7 +67,6 @@ from repro.transpiler.passes import (
     SetLayout,
     Size,
     StochasticSwap,
-    TrivialLayout,
     Unroller,
 )
 from repro.rpo.hoare import HoareOptimizer

@@ -40,7 +40,7 @@ import threading
 
 import numpy as np
 
-from repro.circuit.instruction import ControlledGate, Gate, Instruction
+from repro.circuit.instruction import ControlledGate, Gate
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.gates import (
     CCXGate,

@@ -32,7 +32,7 @@ import numpy as np
 from repro.circuit.instruction import ControlledGate
 from repro.circuit.matrix_utils import embed_gate
 from repro.circuit.quantumcircuit import CircuitInstruction, QuantumCircuit
-from repro.gates import CXGate, SwapGate, SwapZGate, UnitaryGate, XGate, ZGate
+from repro.gates import SwapGate, SwapZGate, UnitaryGate, XGate, ZGate
 from repro.rpo.pure_tracker import PureStateTracker
 from repro.rpo.states import BasisState
 from repro.transpiler.cache import AnalysisCache, rewrite_counter
@@ -286,7 +286,8 @@ class QPOPass(TransformationPass):
                 else:
                     pending.setdefault(qubit, []).append(instruction)
                 continue
-            if simple and len(qubits) == 2 and operation.name in ("cx", "cz", "swap", "swapz", "unitary"):
+            two_qubit_names = ("cx", "cz", "swap", "swapz", "unitary")
+            if simple and len(qubits) == 2 and operation.name in two_qubit_names:
                 a, b = qubits
                 pair = (min(a, b), max(a, b))
                 block = open_blocks.get(a)

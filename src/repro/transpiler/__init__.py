@@ -16,7 +16,12 @@ Layers, bottom to top:
   :mod:`repro.rpo` and reuses this infrastructure.
 * :mod:`repro.transpiler.frontend` -- the batched :func:`transpile` entry
   point routing every pipeline (presets, RPO, Hoare) and dispatching
-  circuit batches across workers.
+  circuit batches across pluggable executors (serial / thread / process,
+  with ``auto`` selection); the process backend warm-starts workers from
+  the shared cache's snapshot and merges their deltas back.
+* :mod:`repro.transpiler.metrics` -- batch-level aggregation of the
+  per-pass metrics into JSON reports, plus the baseline comparison the CI
+  regression gate runs.
 """
 
 from repro.transpiler.coupling import CouplingMap
@@ -41,7 +46,13 @@ from repro.transpiler.preset import (
     level_3_pass_manager,
     preset_pass_manager,
 )
-from repro.transpiler.frontend import PIPELINES, pass_manager_for, transpile
+from repro.transpiler.frontend import EXECUTORS, PIPELINES, pass_manager_for, transpile
+from repro.transpiler.metrics import (
+    aggregate_batch,
+    compare_metrics,
+    load_metrics_json,
+    write_metrics_json,
+)
 
 __all__ = [
     "CouplingMap",
@@ -63,6 +74,11 @@ __all__ = [
     "level_3_pass_manager",
     "preset_pass_manager",
     "PIPELINES",
+    "EXECUTORS",
     "pass_manager_for",
     "transpile",
+    "aggregate_batch",
+    "compare_metrics",
+    "load_metrics_json",
+    "write_metrics_json",
 ]

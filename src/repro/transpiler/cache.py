@@ -31,6 +31,14 @@ pass to attach rewrite counts to its metrics.
 
 Entry counts are bounded (FIFO eviction) so a cache shared by a long-lived
 service cannot grow without limit.
+
+Caches also cross process boundaries: :meth:`AnalysisCache.export_snapshot`
+produces a picklable warm-start snapshot of the value-keyed families
+(matrices, adjacency, wire indices -- DAG views are identity-keyed and stay
+local), and :meth:`AnalysisCache.import_snapshot` merges one in.  The
+process-pool executor of :mod:`repro.transpiler.frontend` warm-starts every
+worker from the parent's snapshot and merges worker deltas (entries plus
+hit/miss stats accrued since the last export) back after each job.
 """
 
 from __future__ import annotations
@@ -137,12 +145,23 @@ class AnalysisCache:
     #: Key under which the pass manager stores the cache in the property set.
     PROPERTY_KEY = "analysis_cache"
 
+    #: Version tag of the warm-start snapshot wire format.
+    SNAPSHOT_VERSION = 1
+
     def __init__(self):
         self._matrices: dict = {}
         self._adjacency: dict = {}
         self._wire_indices: dict = {}
         self._dags: dict = {}
+        #: keys already shared through import/export -- the delta baseline
+        self._shared: dict[str, set] = {
+            "matrices": set(),
+            "adjacency": set(),
+            "wire_indices": set(),
+        }
         self.stats: Counter = Counter()
+        #: stats totals as of the last delta export (for incremental stats)
+        self._stats_exported: Counter = Counter()
 
     @classmethod
     def ensure(cls, property_set) -> "AnalysisCache":
@@ -253,6 +272,83 @@ class AnalysisCache:
         dag = circuit_to_dag(circuit)
         _bounded_insert(self._dags, key, (circuit, dag), _MAX_CIRCUIT_VIEWS)
         return dag
+
+    # -- warm-start snapshots ----------------------------------------------
+    #
+    # The process-pool executor ships these across process boundaries: the
+    # parent exports its warm cache once at pool init, every worker imports
+    # it, and workers ship back deltas (entries they computed that the
+    # parent has not seen) for merging.  Only value-keyed families travel:
+    # matrices, adjacency and wire indices are keyed by gate parameters or
+    # structural fingerprints, both stable across processes.  DAG views are
+    # keyed by operation *identity* (``id()``), which is meaningless in
+    # another process, so they never leave home.
+
+    _SNAPSHOT_FAMILIES = ("matrices", "adjacency", "wire_indices")
+
+    def _family_table(self, family: str) -> dict:
+        return getattr(self, f"_{family}")
+
+    def export_snapshot(self, delta_only: bool = False) -> dict:
+        """A picklable warm-start snapshot of every portable cache family.
+
+        With ``delta_only`` the snapshot contains only entries added since
+        the last :meth:`import_snapshot` / :meth:`export_snapshot` call, and
+        those entries are marked shared -- repeated delta exports from a
+        long-lived worker stay incremental.  Delta snapshots also carry the
+        ``stats`` accrued since the previous export, so a parent merging
+        worker deltas sees the workers' hit/miss counts, not just their
+        cache entries.
+        """
+        snapshot: dict = {"version": self.SNAPSHOT_VERSION}
+        for family in self._SNAPSHOT_FAMILIES:
+            table = self._family_table(family)
+            shared = self._shared[family]
+            if delta_only:
+                entries = {k: v for k, v in table.items() if k not in shared}
+            else:
+                entries = dict(table)
+            shared.update(entries)
+            snapshot[family] = entries
+        if delta_only:
+            snapshot["stats"] = dict(self.stats - self._stats_exported)
+            self._stats_exported = Counter(self.stats)
+        return snapshot
+
+    def import_snapshot(self, snapshot: dict) -> int:
+        """Merge a snapshot from another cache; returns entries adopted.
+
+        Existing entries win (they may already be referenced by callers);
+        imported entries count as shared, so a later delta export does not
+        echo them back to their origin.  Imports respect the same FIFO
+        bounds as organic inserts.
+        """
+        if snapshot.get("version") != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported AnalysisCache snapshot version "
+                f"{snapshot.get('version')!r}"
+            )
+        limits = {
+            "matrices": _MAX_MATRICES,
+            "adjacency": _MAX_CIRCUIT_VIEWS,
+            "wire_indices": _MAX_CIRCUIT_VIEWS,
+        }
+        adopted = 0
+        self.stats.update(snapshot.get("stats", {}))
+        for family in self._SNAPSHOT_FAMILIES:
+            table = self._family_table(family)
+            shared = self._shared[family]
+            for key, value in snapshot.get(family, {}).items():
+                shared.add(key)
+                if key in table:
+                    continue
+                if family == "matrices" and value.flags.writeable:
+                    value.setflags(write=False)  # pickling re-enables writes
+                _bounded_insert(table, key, value, limits[family])
+                adopted += 1
+        self.stats["snapshot_imports"] += 1
+        self.stats["snapshot_entries_adopted"] += adopted
+        return adopted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

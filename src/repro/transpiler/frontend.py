@@ -11,30 +11,48 @@ Architecture:
 * **Pipeline routing** -- ``pipeline`` selects the pass-manager factory;
   the default ``"preset"`` dispatches on ``optimization_level`` exactly
   like the historical :func:`repro.transpiler.preset.transpile`.
-* **Batching** -- ``transpile`` accepts a single circuit or a sequence.
-  Batches are dispatched across a ``concurrent.futures`` thread pool; each
-  job builds its own :class:`~repro.transpiler.passmanager.PassManager`
+* **Batching and executors** -- ``transpile`` accepts a single circuit or a
+  sequence, dispatched through a pluggable executor backend:
+
+  - ``"serial"`` runs jobs in-process, one after another;
+  - ``"thread"`` fans out over a ``ThreadPoolExecutor`` -- cheap to start,
+    but the pure-Python passes hold the GIL, so it overlaps little actual
+    compilation;
+  - ``"process"`` fans out over a ``ProcessPoolExecutor`` -- circuits
+    travel as compact payloads (:mod:`repro.circuit.serialization`),
+    workers are warm-started with the shared cache's snapshot and ship
+    back deltas, and compilation scales with cores;
+  - ``"auto"`` (default) picks serial for single circuits, process for
+    large batches of wide circuits on multi-core hosts, thread otherwise.
+
+  Each job builds its own :class:`~repro.transpiler.passmanager.PassManager`
   (pass instances are single-run objects), so jobs never share mutable
   pass state.  ``seed`` may be one value for the whole batch or a
   per-circuit sequence.
 * **Shared analysis cache** -- all jobs of a batch share one
   :class:`~repro.transpiler.cache.AnalysisCache` (pass your own to share
-  across calls): repeated workloads skip most matrix constructions and
-  circuit analyses, which is what makes high-throughput serving of
-  similar circuits cheap.
+  across calls).  Under the process executor the sharing crosses process
+  boundaries: workers import the cache's warm-start snapshot at pool init
+  and export deltas with every result, which the parent merges back, so
+  repeated workloads skip most matrix constructions and circuit analyses
+  whichever executor ran them.
 * **Results** -- by default the transpiled circuit(s) come back in input
   order; ``full_result=True`` returns
   :class:`~repro.transpiler.passmanager.TranspileResult` objects carrying
-  the property set and the structured per-pass/per-loop metrics.
+  the property set and the structured per-pass metrics
+  (:mod:`repro.transpiler.metrics` aggregates those across a batch).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Sequence
 
 from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.serialization import circuit_from_payload, circuit_to_payload
 from repro.transpiler.cache import AnalysisCache
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.exceptions import TranspilerError
@@ -42,7 +60,7 @@ from repro.transpiler.layout import Layout
 from repro.transpiler.passmanager import PassManager, PropertySet, TranspileResult
 from repro.transpiler.passes import IBM_BASIS
 
-__all__ = ["transpile", "pass_manager_for", "PIPELINES"]
+__all__ = ["transpile", "pass_manager_for", "PIPELINES", "EXECUTORS"]
 
 #: Named pipelines routed through :func:`pass_manager_for`.  ``"preset"``
 #: dispatches on ``optimization_level``; ``"level0"``-``"level3"`` pin one;
@@ -57,6 +75,14 @@ PIPELINES = (
     "rpo_ext",
     "hoare",
 )
+
+#: Executor backends accepted by :func:`transpile`.
+EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: ``auto`` picks the process pool only when the batch is big and wide
+#: enough to amortize pool start-up and payload shipping.
+_PROCESS_MIN_BATCH = 8
+_PROCESS_MIN_WIDTH = 5
 
 
 def pass_manager_for(
@@ -102,6 +128,140 @@ def pass_manager_for(
     )
 
 
+def _choose_executor(batch: Sequence[QuantumCircuit], requested: str) -> str:
+    """Resolve ``"auto"`` by batch size, circuit width and host cores."""
+    if requested != "auto":
+        return requested
+    if len(batch) <= 1:
+        return "serial"
+    if (os.cpu_count() or 1) <= 1:
+        return "thread"  # a process pool cannot add parallelism here
+    width = max(circuit.num_qubits for circuit in batch)
+    if len(batch) >= _PROCESS_MIN_BATCH and width >= _PROCESS_MIN_WIDTH:
+        return "process"
+    return "thread"
+
+
+def _default_workers(batch_size: int, max_workers: int | None) -> int:
+    return max_workers or min(batch_size, max(1, (os.cpu_count() or 2) - 1))
+
+
+# ---------------------------------------------------------------------------
+# process executor plumbing
+#
+# Workers are initialized once per pool with the (picklable) pipeline
+# configuration and the parent cache's warm-start snapshot; each job then
+# ships only a compact circuit payload and its seed.  Results come back as
+# payloads too, plus the worker cache's delta since its last export, which
+# the parent merges into the batch's shared cache -- so the cache keeps
+# warming across processes exactly as it does across threads.
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: dict | None = None
+
+
+def _process_worker_init(config: dict, snapshot: dict | None) -> None:
+    global _WORKER_STATE
+    cache = AnalysisCache()
+    if snapshot is not None:
+        cache.import_snapshot(snapshot)
+    _WORKER_STATE = {"config": config, "cache": cache}
+
+
+def _sanitize_properties(properties: PropertySet) -> dict:
+    """A picklable copy of a run's property set.
+
+    The shared cache is stripped (it travels separately as a delta); any
+    other unpicklable value is dropped and recorded under
+    ``"_dropped_properties"`` so callers can tell the set is partial.
+    """
+    sanitized: dict = {}
+    dropped: list[str] = []
+    for key, value in properties.items():
+        if key == AnalysisCache.PROPERTY_KEY:
+            continue
+        try:
+            pickle.dumps(value)
+        except Exception:
+            dropped.append(key)
+        else:
+            sanitized[key] = value
+    if dropped:
+        sanitized["_dropped_properties"] = dropped
+    return sanitized
+
+
+def _process_job(task: tuple) -> tuple:
+    payload, seed = task
+    state = _WORKER_STATE
+    assert state is not None, "process pool worker was not initialized"
+    config = state["config"]
+    cache = state["cache"]
+    circuit = circuit_from_payload(payload)
+    coupling = config["coupling_map"]
+    if coupling is None:
+        coupling = CouplingMap.full(circuit.num_qubits)
+    manager = pass_manager_for(
+        config["pipeline"],
+        coupling,
+        backend_properties=config["backend_properties"],
+        optimization_level=config["optimization_level"],
+        seed=seed,
+        basis=config["basis"],
+        initial_layout=config["initial_layout"],
+    )
+    result = manager.run_with_result(circuit, PropertySet(), analysis_cache=cache)
+    return (
+        circuit_to_payload(result.circuit),
+        result.metrics,
+        result.loops,
+        result.time,
+        _sanitize_properties(result.properties),
+        cache.export_snapshot(delta_only=True),
+    )
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _run_process_batch(
+    batch: Sequence[QuantumCircuit],
+    seeds: Sequence,
+    cache: AnalysisCache,
+    workers: int,
+    config: dict,
+) -> list[TranspileResult]:
+    tasks = [
+        (circuit_to_payload(circuit), seed) for circuit, seed in zip(batch, seeds)
+    ]
+    chunksize = max(1, len(tasks) // (workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_mp_context(),
+        initializer=_process_worker_init,
+        initargs=(config, cache.export_snapshot()),
+    ) as pool:
+        outputs = list(pool.map(_process_job, tasks, chunksize=chunksize))
+
+    results = []
+    for payload, metrics, loops, elapsed, props, delta in outputs:
+        cache.import_snapshot(delta)
+        properties = PropertySet(props)
+        properties[AnalysisCache.PROPERTY_KEY] = cache
+        results.append(
+            TranspileResult(
+                circuit=circuit_from_payload(payload),
+                properties=properties,
+                metrics=metrics,
+                loops=loops,
+                time=elapsed,
+            )
+        )
+    return results
+
+
 def transpile(
     circuits: QuantumCircuit | Sequence[QuantumCircuit],
     backend=None,
@@ -112,6 +272,7 @@ def transpile(
     seed: int | Sequence[int] | None = None,
     basis_gates=IBM_BASIS,
     initial_layout: Layout | None = None,
+    executor: str = "auto",
     max_workers: int | None = None,
     analysis_cache: AnalysisCache | None = None,
     full_result: bool = False,
@@ -128,9 +289,16 @@ def transpile(
             ``optimization_level``), ``"level0"``-``"level3"``, ``"rpo"``,
             ``"rpo_ext"`` or ``"hoare"``.
         seed: routing seed; a sequence gives one seed per batched circuit.
-        max_workers: thread-pool width for batches (default: CPU-bounded).
+        executor: ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``
+            (default), which picks by batch size, circuit width and host
+            cores.  All backends produce identical circuits; they differ
+            only in wall-clock.
+        max_workers: pool width for the thread/process backends (default:
+            CPU-bounded).
         analysis_cache: a shared :class:`AnalysisCache`; defaults to one
-            fresh cache shared by the whole batch.
+            fresh cache shared by the whole batch.  The process backend
+            warm-starts workers from its snapshot and merges their deltas
+            back, so the cache stays shared across calls either way.
         full_result: return :class:`TranspileResult` objects (circuit +
             properties + per-pass metrics) instead of bare circuits.
 
@@ -144,6 +312,10 @@ def transpile(
         return []
     if any(not isinstance(circuit, QuantumCircuit) for circuit in batch):
         raise TranspilerError("transpile() expects QuantumCircuit inputs")
+    if executor not in EXECUTORS:
+        raise TranspilerError(
+            f"unknown executor {executor!r}; choose one of {', '.join(EXECUTORS)}"
+        )
 
     if backend is not None:
         coupling_map = backend.coupling_map
@@ -159,6 +331,7 @@ def transpile(
         seeds = [seed] * len(batch)
 
     cache = analysis_cache if analysis_cache is not None else AnalysisCache()
+    chosen = _choose_executor(batch, executor)
 
     def job(circuit: QuantumCircuit, job_seed) -> TranspileResult:
         coupling = coupling_map
@@ -177,12 +350,23 @@ def transpile(
             circuit, PropertySet(), analysis_cache=cache
         )
 
-    if len(batch) == 1:
-        results = [job(batch[0], seeds[0])]
-    else:
-        workers = max_workers or min(len(batch), max(1, (os.cpu_count() or 2) - 1))
+    if chosen == "process" and len(batch) > 1:
+        config = dict(
+            pipeline=pipeline,
+            coupling_map=coupling_map,
+            backend_properties=backend_properties,
+            optimization_level=optimization_level,
+            basis=tuple(basis_gates),
+            initial_layout=initial_layout,
+        )
+        workers = _default_workers(len(batch), max_workers)
+        results = _run_process_batch(batch, seeds, cache, workers, config)
+    elif chosen == "thread" and len(batch) > 1:
+        workers = _default_workers(len(batch), max_workers)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(job, batch, seeds))
+    else:
+        results = [job(circuit, s) for circuit, s in zip(batch, seeds)]
 
     if not full_result:
         results = [result.circuit for result in results]

@@ -138,7 +138,9 @@ class ConsolidateBlocks(TransformationPass):
             flush_pending(qubit)
         return output
 
-    def _emit_block(self, block: _Block, output: QuantumCircuit, cache: AnalysisCache, rewrites) -> None:
+    def _emit_block(
+        self, block: _Block, output: QuantumCircuit, cache: AnalysisCache, rewrites
+    ) -> None:
         if block.num_2q < _BLOCK_MIN_2Q and not self.force:
             self._emit_original(block, output)
             return

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circuit.quantumcircuit import CircuitInstruction, QuantumCircuit
+from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.gates import SwapGate
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.exceptions import TranspilerError

@@ -62,6 +62,25 @@ class PropertySet(dict):
     """Shared key-value store that passes use to communicate."""
 
 
+#: Set once the ``PassManager.property_set`` deprecation has been announced;
+#: the alias is read on hot serving paths, so the warning fires once per
+#: process rather than once per run/access.
+_PROPERTY_SET_DEPRECATION_EMITTED = False
+
+
+def _warn_property_set_deprecated() -> None:
+    global _PROPERTY_SET_DEPRECATION_EMITTED
+    if _PROPERTY_SET_DEPRECATION_EMITTED:
+        return
+    _PROPERTY_SET_DEPRECATION_EMITTED = True
+    warnings.warn(
+        "PassManager.property_set is deprecated; use the TranspileResult "
+        "returned by PassManager.run_with_result() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 @dataclass
 class PassMetrics:
     """Structured record of one pass execution (or skip)."""
@@ -251,12 +270,7 @@ class PassManager:
         :meth:`run_with_result` -- it is what makes concurrent runs of one
         manager race-free.
         """
-        warnings.warn(
-            "PassManager.property_set is deprecated; use the TranspileResult "
-            "returned by PassManager.run_with_result() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        _warn_property_set_deprecated()
         result = getattr(self._thread_results, "last", None)
         return result.properties if result is not None else None
 

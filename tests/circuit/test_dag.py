@@ -1,7 +1,5 @@
 """Tests for the DAG representation and converters."""
 
-import pytest
-
 from repro.circuit import QuantumCircuit, circuit_to_dag, dag_to_circuit
 
 

@@ -5,7 +5,6 @@ circuits; the RPO pipelines preserve it too (their rewrites are functional,
 which is exactly what distribution preservation checks).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

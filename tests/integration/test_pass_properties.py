@@ -1,6 +1,5 @@
 """Algebraic properties of the optimization passes."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Tests for the Hoare-logic baseline optimizer."""
 
-import pytest
-
 from repro.circuit import QuantumCircuit
 from repro.rpo import HoareOptimizer
 from repro.transpiler.passmanager import PropertySet

@@ -1,6 +1,5 @@
 """End-to-end tests of the RPO pipeline (paper Fig. 8)."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms import (

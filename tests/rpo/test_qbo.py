@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro.circuit import QuantumCircuit
-from repro.gates import CXGate, CZGate
+from repro.gates import CXGate
 from repro.rpo import QBOPass, BasisState
-from repro.rpo.states import bloch_tuple_of_basis_state
 from repro.transpiler.passmanager import PropertySet
 
 from tests.helpers import assert_functionally_equivalent

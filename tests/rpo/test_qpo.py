@@ -1,7 +1,6 @@
 """Tests for the QPO pass: Eqs. 5, 6, 9 and Sec. V-D block preparation."""
 
 import numpy as np
-import pytest
 
 from repro.circuit import QuantumCircuit
 from repro.rpo import QPOPass

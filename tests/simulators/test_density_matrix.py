@@ -1,6 +1,5 @@
 """Tests for the exact density-matrix simulator."""
 
-import numpy as np
 import pytest
 
 from repro.circuit import QuantumCircuit

@@ -141,6 +141,79 @@ class TestCircuitViews:
         assert cache.stats["dag_misses"] == 1
 
 
+class TestWarmStartSnapshots:
+    def _warm_cache(self):
+        cache = AnalysisCache()
+        cache.matrix(U3Gate(0.1, 0.2, 0.3))
+        cache.matrix(U1Gate(0.5))
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.swap(0, 1)
+        cache.same_pair_adjacency(circuit)
+        cache.wire_indices(circuit)
+        cache.dag(circuit)
+        return cache
+
+    def test_export_import_round_trip(self):
+        import pickle
+
+        source = self._warm_cache()
+        snapshot = pickle.loads(pickle.dumps(source.export_snapshot()))
+        target = AnalysisCache()
+        adopted = target.import_snapshot(snapshot)
+        assert adopted == len(source._matrices) + 2  # + adjacency + wires
+        assert set(target._matrices) == set(source._matrices)
+        assert set(target._adjacency) == set(source._adjacency)
+        assert set(target._wire_indices) == set(source._wire_indices)
+        # identity-keyed DAG views never travel
+        assert not target._dags
+
+    def test_imported_matrices_hit_and_stay_immutable(self):
+        source = self._warm_cache()
+        target = AnalysisCache()
+        target.import_snapshot(source.export_snapshot())
+        matrix = target.matrix(U3Gate(0.1, 0.2, 0.3))
+        assert target.stats["matrix_hits"] == 1
+        assert target.stats["matrix_misses"] == 0
+        assert not matrix.flags.writeable
+        assert np.allclose(matrix, U3Gate(0.1, 0.2, 0.3).to_matrix())
+
+    def test_delta_export_is_incremental(self):
+        cache = AnalysisCache()
+        cache.import_snapshot(self._warm_cache().export_snapshot())
+        first_delta = cache.export_snapshot(delta_only=True)
+        assert not first_delta["matrices"]  # imported entries are not echoed
+
+        cache.matrix(U3Gate(0.7, 0.8, 0.9))
+        second_delta = cache.export_snapshot(delta_only=True)
+        assert len(second_delta["matrices"]) == 1
+        assert second_delta["stats"].get("matrix_misses") == 1
+
+        third_delta = cache.export_snapshot(delta_only=True)
+        assert not third_delta["matrices"]  # already exported
+        assert not third_delta["stats"].get("matrix_misses")
+
+    def test_import_merges_stats(self):
+        target = AnalysisCache()
+        cache = AnalysisCache()
+        cache.matrix(U1Gate(0.5))
+        delta = cache.export_snapshot(delta_only=True)
+        target.import_snapshot(delta)
+        assert target.stats["matrix_misses"] == 1
+
+    def test_existing_entries_win_on_import(self):
+        target = AnalysisCache()
+        local = target.matrix(U1Gate(0.5))
+        source = AnalysisCache()
+        source.matrix(U1Gate(0.5))
+        target.import_snapshot(source.export_snapshot())
+        assert target.matrix(U1Gate(0.5)) is local
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            AnalysisCache().import_snapshot({"version": 99})
+
+
 def _table2_workloads():
     return [
         ("qpe", quantum_phase_estimation(3)),
@@ -172,7 +245,11 @@ def _assert_identical(a: QuantumCircuit, b: QuantumCircuit):
 class TestSharedCacheAcceptance:
     """The acceptance criterion of the scheduler/cache rework."""
 
-    @pytest.mark.parametrize("name,circuit", _table2_workloads(), ids=lambda v: v if isinstance(v, str) else "")
+    @pytest.mark.parametrize(
+        "name,circuit",
+        _table2_workloads(),
+        ids=lambda v: v if isinstance(v, str) else "",
+    )
     def test_second_run_constructs_fewer_matrices(self, name, circuit):
         backend = FakeMelbourne()
         shared = AnalysisCache()

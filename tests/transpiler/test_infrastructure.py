@@ -1,6 +1,5 @@
 """Tests for CouplingMap, Layout, PassManager, layout passes and routing."""
 
-import numpy as np
 import pytest
 
 from repro.circuit import QuantumCircuit

@@ -1,7 +1,6 @@
 """Tests for the standard transpiler passes."""
 
 import numpy as np
-import pytest
 
 from repro.circuit import QuantumCircuit
 from repro.transpiler.passmanager import PropertySet
