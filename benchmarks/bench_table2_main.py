@@ -144,18 +144,35 @@ def main(argv=None):
             for workload in ("qpe", "vqe", "qv", "grover")
             for num_qubits in sizes
         ]
+        # under --executor service, all three configs share one persistent
+        # CompileService (and its warm pool + cache) instead of paying a
+        # per-call pool spin-up each
+        service = None
+        if args.executor == "service":
+            from repro.transpiler import CompileService
+
+            service = CompileService(target=backend.target())
+        try:
+            batched = {
+                config: batch_metrics_report(
+                    config,
+                    circuits,
+                    backend,
+                    executor=args.executor,
+                    service=service,
+                )
+                for config in CONFIG_NAMES
+            }
+        finally:
+            if service is not None:
+                service.shutdown()
         report = {
             "schema": METRICS_SCHEMA_VERSION,
             "suite": "table2_quick" if args.quick else "table2",
             "quick": args.quick,
             "rows": rows,
             "mean_time_by_config": mean_time_by_config(rows),
-            "batched": {
-                config: batch_metrics_report(
-                    config, circuits, backend, executor=args.executor
-                )
-                for config in CONFIG_NAMES
-            },
+            "batched": batched,
         }
         write_metrics_json(args.metrics_json, report)
         print(f"\nmetrics written to {args.metrics_json}")

@@ -9,6 +9,12 @@ against ``benchmarks/baseline_quick.json`` and exits non-zero when either
 * a pipeline's mean transpile time, *normalized by the same run's level3
   mean* so machine speed cancels out, regresses more than the tolerance.
 
+With ``--executors REPORT.json`` (the report written by
+``bench_executors.py --metrics-json``) the gate additionally checks
+**service-mode throughput**: the persistent ``CompileService`` must not
+fall behind per-call process pools by more than ``--service-tolerance``,
+and the disk-snapshot warm-start must raise the cache hit-rate.
+
 Refreshing the baseline after an intentional change::
 
     python benchmarks/bench_table2_main.py --quick \
@@ -16,7 +22,8 @@ Refreshing the baseline after an intentional change::
 
 Usage::
 
-    python benchmarks/check_regression.py CURRENT.json [BASELINE.json]
+    python benchmarks/check_regression.py CURRENT.json [BASELINE.json] \
+        [--executors EXECUTORS.json]
 """
 
 from __future__ import annotations
@@ -28,6 +35,41 @@ import sys
 from repro.transpiler import compare_metrics, load_metrics_json
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline_quick.json")
+
+
+def check_service_throughput(report: dict, tolerance: float) -> list[str]:
+    """Service-mode gates over a ``bench_executors.py`` metrics report.
+
+    * the persistent service's total wall must be <= per-call process
+      pools' wall * (1 + tolerance) -- i.e. service throughput must be at
+      least per-call throughput, modulo timing noise;
+    * the snapshot warm-start hit-rate must exceed the cold hit-rate.
+    """
+    failures: list[str] = []
+    walls = report.get("wall_times", {})
+    service = walls.get("service")
+    per_call = walls.get("process_per_call")
+    if service is None or per_call is None:
+        failures.append(
+            "executors report lacks service/process_per_call wall times; "
+            "run bench_executors.py with --metrics-json"
+        )
+    elif service > per_call * (1.0 + tolerance):
+        failures.append(
+            f"service wall {service:.2f}s exceeds per-call process pools "
+            f"{per_call:.2f}s by more than {tolerance:.0%}"
+        )
+    warm = report.get("snapshot_warm_start", {})
+    cold_rate = warm.get("cold_hit_rate")
+    warm_rate = warm.get("warm_hit_rate")
+    if cold_rate is None or warm_rate is None:
+        failures.append("executors report lacks snapshot warm-start hit rates")
+    elif warm_rate <= cold_rate:
+        failures.append(
+            f"snapshot warm-start did not raise the cache hit-rate "
+            f"(cold {cold_rate:.1%}, warm {warm_rate:.1%})"
+        )
+    return failures
 
 
 def main(argv=None):
@@ -52,6 +94,19 @@ def main(argv=None):
         help="allowed relative growth of normalized mean transpile time "
         "(default 0.20)",
     )
+    parser.add_argument(
+        "--executors",
+        metavar="PATH",
+        help="bench_executors.py metrics report; enables the service-mode "
+        "throughput and snapshot warm-start gates",
+    )
+    parser.add_argument(
+        "--service-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed service wall-clock excess over per-call process pools "
+        "(default 0.10)",
+    )
     args = parser.parse_args(argv)
 
     current = load_metrics_json(args.current)
@@ -62,13 +117,21 @@ def main(argv=None):
         gate_tolerance=args.gate_tolerance,
         time_tolerance=args.time_tolerance,
     )
+    if args.executors:
+        failures += check_service_throughput(
+            load_metrics_json(args.executors), args.service_tolerance
+        )
     if failures:
         print(f"REGRESSIONS vs {args.baseline}:")
         for failure in failures:
             print(f"  - {failure}")
         sys.exit(1)
     rows = len(current.get("rows", []))
-    print(f"regression gate passed: {rows} rows within tolerance of baseline")
+    checked = " (+ service throughput)" if args.executors else ""
+    print(
+        f"regression gate passed: {rows} rows within tolerance of baseline"
+        f"{checked}"
+    )
 
 
 if __name__ == "__main__":

@@ -91,6 +91,7 @@ def batch_metrics_report(
     executor: str = "auto",
     num_seeds: int = 1,
     max_workers: int | None = None,
+    service=None,
 ) -> dict:
     """One *batched* transpile over a shared cache, rolled up into a
     JSON-ready metrics report (:func:`repro.transpiler.aggregate_batch`).
@@ -98,15 +99,18 @@ def batch_metrics_report(
     This is the serving-shaped measurement the per-seed cold runs of
     :func:`transpile_stats` deliberately avoid: the whole batch shares one
     :class:`~repro.transpiler.AnalysisCache` (across processes too, under
-    ``executor="process"``), and the report records batch wall-clock,
-    per-pass aggregates and cache hit rates.
+    ``executor="process"``/``"service"``), and the report records batch
+    wall-clock, per-pass and per-target aggregates and cache hit rates.
+    Pass a persistent :class:`~repro.transpiler.CompileService` as
+    ``service`` to measure the amortized-pool serving path instead of a
+    per-call executor.
     """
     batch, seeds = [], []
     for circuit in circuits:
         for seed in range(num_seeds):
             batch.append(circuit.copy())
             seeds.append(seed)
-    cache = AnalysisCache()
+    cache = service.cache if service is not None else AnalysisCache()
     start = time.perf_counter()
     results = transpile(
         batch,
@@ -117,10 +121,12 @@ def batch_metrics_report(
         max_workers=max_workers,
         analysis_cache=cache,
         full_result=True,
+        service=service,
     )
     wall_time = time.perf_counter() - start
+    label = executor if service is None else "service"
     return aggregate_batch(
-        results, cache=cache, executor=executor, wall_time=wall_time
+        results, cache=cache, executor=label, wall_time=wall_time
     )
 
 

@@ -53,6 +53,22 @@ Transpile API
     )
     report = aggregate_batch(results, cache=cache)
     write_metrics_json("metrics.json", report)
+
+Targets and the compile service
+-------------------------------
+
+A ``Target`` names the hardware (basis + coupling + calibration) as one
+hashable object, and a ``CompileService`` keeps a worker pool and cache
+warm across many batches -- the serving path::
+
+    from repro import CompileService, Target
+
+    with CompileService(pipeline="rpo", snapshot_path="cache.snap") as svc:
+        # one batch may mix targets; results carry their target
+        results = svc.map(circuits, targets=[Target.preset("melbourne"),
+                                             Target.preset("linear:8"), ...])
+    # __exit__ persists the cache snapshot; the next service run (even in
+    # a fresh process) boots warm from cache.snap
 """
 
 from repro import transpile
@@ -124,6 +140,31 @@ def main():
         f"batch: {report['num_circuits']} circuits in "
         f"{report['time']['total'] * 1000:.1f}ms of compile time, "
         f"matrix cache hit rate {report['cache']['matrix_hit_rate']:.0%}"
+    )
+
+    # the serving path: a CompileService keeps one pool and cache warm
+    # across submissions, and compiles for explicit Targets -- here the
+    # same circuit lands on melbourne and on a 15-qubit line in one batch
+    from repro import CompileService, Target
+
+    with CompileService(pipeline="rpo") as service:
+        hetero = service.map(
+            [circuit.copy(), circuit.copy()],
+            targets=[Target.from_backend(backend), Target.preset("linear:15")],
+            seeds=[0, 0],
+        )
+        for result in hetero:
+            target = result.properties["target"]
+            print(
+                f"{target.label:20s}: "
+                f"{result.circuit.count_ops().get('cx', 0)} CNOTs, "
+                f"depth {result.circuit.depth()}"
+            )
+        stats = service.stats()
+    print(
+        f"service: {stats['completed']} jobs, "
+        f"{stats['cache_requests']} cache requests, "
+        f"{stats['cache_constructions']} constructions"
     )
 
     simulator = StatevectorSimulator(seed=1)

@@ -63,5 +63,13 @@ class FakeBackend:
     def num_qubits(self) -> int:
         return self.coupling_map.num_qubits
 
+    def target(self, basis=None) -> "Target":
+        """This device as a :class:`~repro.transpiler.target.Target`."""
+        from repro.transpiler.target import Target
+
+        if basis is None:
+            return Target.from_backend(self)
+        return Target.from_backend(self, basis=basis)
+
     def __repr__(self) -> str:
         return f"<FakeBackend {self.name!r} ({self.num_qubits} qubits)>"

@@ -1,8 +1,11 @@
-"""Compact, process-portable circuit payloads.
+"""Compact, process-portable circuit (and target) payloads.
 
-The process-pool executor of :mod:`repro.transpiler.frontend` ships circuits
-to worker processes and optimized circuits back.  Plain ``pickle`` of a
-:class:`~repro.circuit.quantumcircuit.QuantumCircuit` works but is wasteful:
+The :class:`~repro.transpiler.service.CompileService` ships circuits to
+worker processes and optimized circuits back, each job envelope pairing a
+circuit payload with a compact :class:`~repro.transpiler.target.Target`
+payload (``Target.to_payload()`` / ``Target.from_payload()``).  Plain
+``pickle`` of a :class:`~repro.circuit.quantumcircuit.QuantumCircuit`
+works but is wasteful:
 every gate object pickles its class closure, and memoized ``_definition``
 sub-circuits multiply the payload size.  This module flattens a circuit to a
 small tuple tree of primitives:

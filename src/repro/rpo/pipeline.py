@@ -21,10 +21,18 @@ targets the routing-inserted SWAPs; QPO runs once outside the fixed-point
 loop because the loop's optimizations preserve the state invariants
 (Sec. VII-A).
 
-Scheduler and cache architecture
---------------------------------
+Targets, scheduler and cache architecture
+-----------------------------------------
 
-These factories return plain schedules; the execution semantics live in
+Each factory takes a :class:`~repro.transpiler.target.Target` (basis gates
++ coupling map + calibration data in one hashable object) as its first
+argument; bare :class:`~repro.transpiler.coupling.CouplingMap` values plus
+the historical ``basis``/``backend_properties`` keywords are coerced for
+back-compat.  The unroll/layout/route stage comes from
+:func:`repro.transpiler.preset.layout_stage` (shared with the preset
+levels); RPO and Hoare splice their own passes around it.
+
+The factories return plain schedules; the execution semantics live in
 :class:`repro.transpiler.passmanager.PassManager`, which is
 requirements/preserves-aware: passes declare ``requires``/``provides``/
 ``preserves``/``invalidates``, the manager skips analysis passes whose
@@ -41,8 +49,9 @@ that guards the SWAP rewrites, per-wire index views): QBO and QPO hit the
 same adjacency entry, and the state trackers, 1q fusion and block
 consolidation resolve repeated gates to one matrix construction.  Callers
 wanting cross-run sharing (the serving path) go through
-:func:`repro.transpiler.frontend.transpile`, which batches circuits over a
-worker pool around one shared cache.
+:func:`repro.transpiler.frontend.transpile` or a long-lived
+:class:`~repro.transpiler.service.CompileService`, which keep one warm
+cache under every batch.
 
 Prefer ``transpile(circuit, backend=..., pipeline="rpo")`` over wiring
 these factories by hand.
@@ -52,23 +61,16 @@ from __future__ import annotations
 
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.layout import Layout
-from repro.transpiler.passmanager import DoWhileController, PassManager
+from repro.transpiler.passmanager import PassManager
 from repro.transpiler.passes import (
-    ApplyLayout,
-    CommutativeCancellation,
-    ConsolidateBlocks,
-    CXCancellation,
-    DenseLayout,
-    FixedPoint,
     IBM_BASIS,
     Optimize1qGates,
     RemoveAnnotations,
     RemoveDiagonalGatesBeforeMeasure,
-    SetLayout,
-    Size,
-    StochasticSwap,
     Unroller,
 )
+from repro.transpiler.preset import layout_stage, optimization_loop
+from repro.transpiler.target import Target
 from repro.rpo.hoare import HoareOptimizer
 from repro.rpo.qbo import QBOPass
 from repro.rpo.qpo import QPOPass
@@ -76,30 +78,8 @@ from repro.rpo.qpo import QPOPass
 __all__ = ["rpo_pass_manager", "rpo_extended_pass_manager", "hoare_pass_manager"]
 
 
-def _optimization_loop(basis):
-    return DoWhileController(
-        [
-            ConsolidateBlocks(),
-            Unroller(basis),
-            Optimize1qGates(),
-            CommutativeCancellation(),
-            CXCancellation(),
-            Size(),
-            FixedPoint("size"),
-        ],
-        do_while=lambda ps: not ps.get("size_fixed_point", False),
-        max_iterations=10,
-    )
-
-
-def _layout(coupling, backend_properties, initial_layout):
-    if initial_layout is not None:
-        return SetLayout(initial_layout)
-    return DenseLayout(coupling, backend_properties)
-
-
 def rpo_pass_manager(
-    coupling: CouplingMap,
+    target: Target | CouplingMap,
     backend_properties=None,
     seed: int | None = None,
     basis=IBM_BASIS,
@@ -115,27 +95,36 @@ def rpo_pass_manager(
     controlled-gate rule (``general_eigenphase``); see
     :func:`rpo_extended_pass_manager` and the ablation benchmarks.
     """
-    basis = tuple(basis)
+    target = Target.coerce(target, basis=basis, properties=backend_properties)
+    basis = target.basis
     pm = PassManager()
     pm.append(QBOPass(general_eigenphase=general_eigenphase))   # line 1
-    pm.append(Unroller(basis))                             # line 2
-    pm.append(_layout(coupling, backend_properties, initial_layout))  # line 3
-    pm.append(ApplyLayout(coupling))
-    pm.append(StochasticSwap(coupling, trials=8, seed=seed))  # line 4
+    pm.append(                                                  # lines 2-4
+        layout_stage(
+            target,
+            dense=True,
+            swap_trials=8,
+            seed=seed,
+            initial_layout=initial_layout,
+            unroll_after=False,
+        )
+    )
     pm.append(QBOPass(general_eigenphase=general_eigenphase))  # line 5
     pm.append(Unroller(basis + ("swap", "swapz")))         # line 6
     pm.append(Optimize1qGates())                           # line 7
     pm.append(QPOPass(optimize_blocks=enable_qpo_blocks))  # line 8
     pm.append(Unroller(basis))  # lower remaining swap/swapz before the loop
     pm.append(Optimize1qGates())
-    pm.append(_optimization_loop(basis))                   # lines 9-10
+    pm.append(                                             # lines 9-10
+        optimization_loop(basis, commutative=True, consolidate=True)
+    )
     pm.append(RemoveDiagonalGatesBeforeMeasure())
     pm.append(RemoveAnnotations())
     return pm
 
 
 def rpo_extended_pass_manager(
-    coupling: CouplingMap,
+    target: Target | CouplingMap,
     backend_properties=None,
     seed: int | None = None,
     basis=IBM_BASIS,
@@ -150,7 +139,7 @@ def rpo_extended_pass_manager(
     collapse to one-qubit gates).
     """
     return rpo_pass_manager(
-        coupling,
+        target,
         backend_properties=backend_properties,
         seed=seed,
         basis=basis,
@@ -161,7 +150,7 @@ def rpo_extended_pass_manager(
 
 
 def hoare_pass_manager(
-    coupling: CouplingMap,
+    target: Target | CouplingMap,
     backend_properties=None,
     seed: int | None = None,
     basis=IBM_BASIS,
@@ -173,17 +162,24 @@ def hoare_pass_manager(
     pipeline (before unrolling and after routing), which is generous to the
     baseline; it still finds a strict subset of the RPO rewrites.
     """
-    basis = tuple(basis)
+    target = Target.coerce(target, basis=basis, properties=backend_properties)
+    basis = target.basis
     pm = PassManager()
     pm.append(HoareOptimizer())
-    pm.append(Unroller(basis))
-    pm.append(_layout(coupling, backend_properties, initial_layout))
-    pm.append(ApplyLayout(coupling))
-    pm.append(StochasticSwap(coupling, trials=8, seed=seed))
+    pm.append(
+        layout_stage(
+            target,
+            dense=True,
+            swap_trials=8,
+            seed=seed,
+            initial_layout=initial_layout,
+            unroll_after=False,
+        )
+    )
     pm.append(HoareOptimizer())
     pm.append(Unroller(basis))
     pm.append(Optimize1qGates())
-    pm.append(_optimization_loop(basis))
+    pm.append(optimization_loop(basis, commutative=True, consolidate=True))
     pm.append(RemoveDiagonalGatesBeforeMeasure())
     pm.append(RemoveAnnotations())
     return pm

@@ -10,18 +10,27 @@ Layers, bottom to top:
 * :mod:`repro.transpiler.cache` -- the per-run :class:`AnalysisCache`
   (memoized gate matrices, adjacency maps, DAG views) every pass shares;
   share one cache across runs to amortise work over repeated workloads.
+* :mod:`repro.transpiler.target` -- the :class:`Target` abstraction: basis
+  gates + coupling map + calibration data as one hashable, picklable value
+  (named presets included), consumed by every pass-manager factory and
+  routed on by the executor layer.
 * :mod:`repro.transpiler.preset` -- optimization levels 0-3 mirroring
   Qiskit 0.18 (the baselines the paper compares against, Sec. II-B); the
   RPO pipeline (paper Fig. 8, underlined additions) lives in
-  :mod:`repro.rpo` and reuses this infrastructure.
+  :mod:`repro.rpo` and reuses this infrastructure, including the shared
+  :func:`~repro.transpiler.preset.layout_stage` builder.
+* :mod:`repro.transpiler.service` -- the long-lived :class:`CompileService`:
+  a persistent worker pool with an async submission queue, periodic worker
+  cache-delta harvesting and disk-backed cache snapshots, so warm-start
+  survives process restarts.
 * :mod:`repro.transpiler.frontend` -- the batched :func:`transpile` entry
-  point routing every pipeline (presets, RPO, Hoare) and dispatching
-  circuit batches across pluggable executors (serial / thread / process,
-  with ``auto`` selection); the process backend warm-starts workers from
-  the shared cache's snapshot and merges their deltas back.
+  point routing every pipeline (presets, RPO, Hoare); a thin wrapper over
+  a short-lived service (or a caller-owned persistent one via
+  ``service=``), with ``auto`` executor selection and per-circuit targets
+  in one batch.
 * :mod:`repro.transpiler.metrics` -- batch-level aggregation of the
-  per-pass metrics into JSON reports, plus the baseline comparison the CI
-  regression gate runs.
+  per-pass metrics into JSON reports (with per-target breakdowns), plus
+  the baseline comparison the CI regression gate runs.
 """
 
 from repro.transpiler.coupling import CouplingMap
@@ -46,7 +55,9 @@ from repro.transpiler.preset import (
     level_3_pass_manager,
     preset_pass_manager,
 )
+from repro.transpiler.target import Target, TARGET_PRESETS
 from repro.transpiler.frontend import EXECUTORS, PIPELINES, pass_manager_for, transpile
+from repro.transpiler.service import SERVICE_MODES, CompileService
 from repro.transpiler.metrics import (
     aggregate_batch,
     compare_metrics,
@@ -73,6 +84,10 @@ __all__ = [
     "level_2_pass_manager",
     "level_3_pass_manager",
     "preset_pass_manager",
+    "Target",
+    "TARGET_PRESETS",
+    "CompileService",
+    "SERVICE_MODES",
     "PIPELINES",
     "EXECUTORS",
     "pass_manager_for",

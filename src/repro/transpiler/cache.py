@@ -36,13 +36,22 @@ Caches also cross process boundaries: :meth:`AnalysisCache.export_snapshot`
 produces a picklable warm-start snapshot of the value-keyed families
 (matrices, adjacency, wire indices -- DAG views are identity-keyed and stay
 local), and :meth:`AnalysisCache.import_snapshot` merges one in.  The
-process-pool executor of :mod:`repro.transpiler.frontend` warm-starts every
-worker from the parent's snapshot and merges worker deltas (entries plus
-hit/miss stats accrued since the last export) back after each job.
+:class:`~repro.transpiler.service.CompileService` warm-starts every worker
+from the parent's snapshot and harvests worker deltas (entries plus
+hit/miss stats accrued since the last export) back with job results.
+
+Snapshots also persist across process *restarts*: :meth:`AnalysisCache.save`
+writes the snapshot to disk stamped with a library fingerprint, and
+:meth:`AnalysisCache.load` / :meth:`AnalysisCache.load_snapshot` restore it.
+Restoring is deliberately forgiving -- a snapshot written by a different
+library version (or a corrupt/missing file) is a silent no-op rather than
+an error, so a service can always boot from whatever snapshot it finds.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections import Counter
 from typing import TYPE_CHECKING
 
@@ -53,7 +62,20 @@ from repro.circuit.instruction import ControlledGate, Instruction
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.circuit.quantumcircuit import QuantumCircuit
 
-__all__ = ["AnalysisCache", "rewrite_counter"]
+__all__ = ["AnalysisCache", "library_fingerprint", "rewrite_counter"]
+
+
+def library_fingerprint() -> str:
+    """Version stamp written into persisted snapshots.
+
+    Combines the package version with the snapshot wire-format version:
+    a snapshot written by any other combination is silently ignored on
+    import, because cached matrices/analyses may not match what the
+    current code would compute.
+    """
+    import repro
+
+    return f"repro-{repro.__version__}/snapshot-{AnalysisCache.SNAPSHOT_VERSION}"
 
 #: FIFO caps per cache family -- far above any single pipeline's working
 #: set, low enough that a cache shared across many runs stays bounded.
@@ -322,12 +344,24 @@ class AnalysisCache:
         imported entries count as shared, so a later delta export does not
         echo them back to their origin.  Imports respect the same FIFO
         bounds as organic inserts.
+
+        A snapshot written by a different snapshot format or library
+        version (the ``"library"`` stamp :meth:`save` adds) is a **silent
+        no-op**: the method returns 0 and counts the rejection in
+        ``stats["snapshot_rejected"]``.  Persisted snapshots outliving the
+        code that wrote them is the normal case for a long-lived service,
+        not an error.
         """
+        if not isinstance(snapshot, dict):
+            self.stats["snapshot_rejected"] += 1
+            return 0
         if snapshot.get("version") != self.SNAPSHOT_VERSION:
-            raise ValueError(
-                f"unsupported AnalysisCache snapshot version "
-                f"{snapshot.get('version')!r}"
-            )
+            self.stats["snapshot_rejected"] += 1
+            return 0
+        stamp = snapshot.get("library")
+        if stamp is not None and stamp != library_fingerprint():
+            self.stats["snapshot_rejected"] += 1
+            return 0
         limits = {
             "matrices": _MAX_MATRICES,
             "adjacency": _MAX_CIRCUIT_VIEWS,
@@ -349,6 +383,48 @@ class AnalysisCache:
         self.stats["snapshot_imports"] += 1
         self.stats["snapshot_entries_adopted"] += adopted
         return adopted
+
+    # -- disk persistence --------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist a full warm-start snapshot to ``path``.
+
+        The snapshot is stamped with :func:`library_fingerprint`, so a
+        later :meth:`load` by a different library version quietly starts
+        cold instead of adopting possibly-stale entries.  Written
+        atomically (tmp file + rename) so a crash mid-save never leaves a
+        truncated snapshot behind.
+        """
+        snapshot = self.export_snapshot()
+        snapshot["library"] = library_fingerprint()
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(snapshot, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+
+    def load_snapshot(self, path) -> int:
+        """Merge a persisted snapshot from disk; returns entries adopted.
+
+        Missing files, unreadable or malformed pickles (including ones
+        referencing renamed modules from other library versions) and
+        version-mismatched snapshots are all silent no-ops (returning 0),
+        mirroring :meth:`import_snapshot`'s tolerance -- a service must
+        always be able to boot, cold at worst, from whatever it finds.
+        """
+        try:
+            with open(path, "rb") as handle:
+                snapshot = pickle.load(handle)
+            return self.import_snapshot(snapshot)
+        except Exception:
+            self.stats["snapshot_rejected"] += 1
+            return 0
+
+    @classmethod
+    def load(cls, path) -> "AnalysisCache":
+        """A fresh cache warm-started from a persisted snapshot (if valid)."""
+        cache = cls()
+        cache.load_snapshot(path)
+        return cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

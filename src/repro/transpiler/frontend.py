@@ -8,57 +8,49 @@ examples, services) never wire pass managers by hand.
 
 Architecture:
 
+* **Targets** -- every job compiles for a
+  :class:`~repro.transpiler.target.Target` (basis gates + coupling map +
+  calibration data in one hashable object).  Callers pass ``target=`` (a
+  ``Target``, a preset name like ``"melbourne"`` or ``"linear:5"``, or a
+  per-circuit sequence for heterogeneous multi-backend batches); the
+  historical ``backend`` / ``coupling_map`` / ``backend_properties``
+  keywords are coerced into a target for back-compat.
 * **Pipeline routing** -- ``pipeline`` selects the pass-manager factory;
-  the default ``"preset"`` dispatches on ``optimization_level`` exactly
-  like the historical :func:`repro.transpiler.preset.transpile`.
-* **Batching and executors** -- ``transpile`` accepts a single circuit or a
-  sequence, dispatched through a pluggable executor backend:
-
-  - ``"serial"`` runs jobs in-process, one after another;
-  - ``"thread"`` fans out over a ``ThreadPoolExecutor`` -- cheap to start,
-    but the pure-Python passes hold the GIL, so it overlaps little actual
-    compilation;
-  - ``"process"`` fans out over a ``ProcessPoolExecutor`` -- circuits
-    travel as compact payloads (:mod:`repro.circuit.serialization`),
-    workers are warm-started with the shared cache's snapshot and ship
-    back deltas, and compilation scales with cores;
-  - ``"auto"`` (default) picks serial for single circuits, process for
-    large batches of wide circuits on multi-core hosts, thread otherwise.
-
-  Each job builds its own :class:`~repro.transpiler.passmanager.PassManager`
-  (pass instances are single-run objects), so jobs never share mutable
-  pass state.  ``seed`` may be one value for the whole batch or a
-  per-circuit sequence.
+  the default ``"preset"`` dispatches on ``optimization_level``.
+* **Execution** -- ``transpile`` is a thin wrapper over a short-lived
+  :class:`~repro.transpiler.service.CompileService`: ``executor`` picks the
+  service mode (``"serial"``, GIL-bound ``"thread"``, core-scaling
+  ``"process"``/``"service"``, or ``"auto"`` which decides by batch size,
+  circuit width and host cores).  Pass ``service=`` to reuse a caller-owned
+  *persistent* service instead -- no per-call pool spin-up, and the
+  service's warm cache and disk snapshots apply (see
+  :mod:`repro.transpiler.service`).
 * **Shared analysis cache** -- all jobs of a batch share one
   :class:`~repro.transpiler.cache.AnalysisCache` (pass your own to share
-  across calls).  Under the process executor the sharing crosses process
-  boundaries: workers import the cache's warm-start snapshot at pool init
-  and export deltas with every result, which the parent merges back, so
-  repeated workloads skip most matrix constructions and circuit analyses
-  whichever executor ran them.
+  across calls); worker deltas are harvested back across process
+  boundaries, so repeated workloads skip most matrix constructions and
+  circuit analyses whichever executor ran them.
 * **Results** -- by default the transpiled circuit(s) come back in input
   order; ``full_result=True`` returns
   :class:`~repro.transpiler.passmanager.TranspileResult` objects carrying
-  the property set and the structured per-pass metrics
-  (:mod:`repro.transpiler.metrics` aggregates those across a batch).
+  the property set (including the job's target) and the structured
+  per-pass metrics (:mod:`repro.transpiler.metrics` aggregates those
+  across a batch, broken down per target).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Sequence
 
 from repro.circuit.quantumcircuit import QuantumCircuit
-from repro.circuit.serialization import circuit_from_payload, circuit_to_payload
 from repro.transpiler.cache import AnalysisCache
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.exceptions import TranspilerError
 from repro.transpiler.layout import Layout
-from repro.transpiler.passmanager import PassManager, PropertySet, TranspileResult
 from repro.transpiler.passes import IBM_BASIS
+from repro.transpiler.passmanager import PassManager
+from repro.transpiler.target import Target, resolve_targets
 
 __all__ = ["transpile", "pass_manager_for", "PIPELINES", "EXECUTORS"]
 
@@ -76,8 +68,11 @@ PIPELINES = (
     "hoare",
 )
 
-#: Executor backends accepted by :func:`transpile`.
-EXECUTORS = ("auto", "serial", "thread", "process")
+#: Executor backends accepted by :func:`transpile`.  ``"service"`` is the
+#: process pool by another name (one short-lived
+#: :class:`~repro.transpiler.service.CompileService` per call); pass
+#: ``service=`` for a persistent one.
+EXECUTORS = ("auto", "serial", "thread", "process", "service")
 
 #: ``auto`` picks the process pool only when the batch is big and wide
 #: enough to amortize pool start-up and payload shipping.
@@ -87,7 +82,7 @@ _PROCESS_MIN_WIDTH = 5
 
 def pass_manager_for(
     pipeline: str,
-    coupling: CouplingMap,
+    target: Target | CouplingMap | str,
     backend_properties=None,
     optimization_level: int = 1,
     seed: int | None = None,
@@ -97,7 +92,10 @@ def pass_manager_for(
     """Build the pass manager for a named pipeline.
 
     The single routing point for preset levels, the RPO pipelines and the
-    Hoare baseline -- new pipeline flavours plug in here.
+    Hoare baseline -- new pipeline flavours plug in here.  ``target``
+    accepts a :class:`Target`, a preset name, a backend, or a bare
+    :class:`CouplingMap` (combined with the loose ``basis``/
+    ``backend_properties`` keywords for back-compat).
     """
     # lazy imports: repro.rpo imports this package's submodules
     from repro.rpo.pipeline import (
@@ -107,22 +105,18 @@ def pass_manager_for(
     )
     from repro.transpiler.preset import preset_pass_manager
 
-    kwargs = dict(
-        backend_properties=backend_properties,
-        seed=seed,
-        basis=basis,
-        initial_layout=initial_layout,
-    )
+    target = Target.coerce(target, basis=basis, properties=backend_properties)
+    kwargs = dict(seed=seed, initial_layout=initial_layout)
     if pipeline == "preset":
-        return preset_pass_manager(optimization_level, coupling, **kwargs)
+        return preset_pass_manager(optimization_level, target, **kwargs)
     if pipeline.startswith("level") and pipeline[5:].isdigit():
-        return preset_pass_manager(int(pipeline[5:]), coupling, **kwargs)
+        return preset_pass_manager(int(pipeline[5:]), target, **kwargs)
     if pipeline == "rpo":
-        return rpo_pass_manager(coupling, **kwargs)
+        return rpo_pass_manager(target, **kwargs)
     if pipeline == "rpo_ext":
-        return rpo_extended_pass_manager(coupling, **kwargs)
+        return rpo_extended_pass_manager(target, **kwargs)
     if pipeline == "hoare":
-        return hoare_pass_manager(coupling, **kwargs)
+        return hoare_pass_manager(target, **kwargs)
     raise TranspilerError(
         f"unknown pipeline {pipeline!r}; choose one of {', '.join(PIPELINES)}"
     )
@@ -142,124 +136,14 @@ def _choose_executor(batch: Sequence[QuantumCircuit], requested: str) -> str:
     return "thread"
 
 
-def _default_workers(batch_size: int, max_workers: int | None) -> int:
-    return max_workers or min(batch_size, max(1, (os.cpu_count() or 2) - 1))
-
-
-# ---------------------------------------------------------------------------
-# process executor plumbing
-#
-# Workers are initialized once per pool with the (picklable) pipeline
-# configuration and the parent cache's warm-start snapshot; each job then
-# ships only a compact circuit payload and its seed.  Results come back as
-# payloads too, plus the worker cache's delta since its last export, which
-# the parent merges into the batch's shared cache -- so the cache keeps
-# warming across processes exactly as it does across threads.
-# ---------------------------------------------------------------------------
-
-_WORKER_STATE: dict | None = None
-
-
-def _process_worker_init(config: dict, snapshot: dict | None) -> None:
-    global _WORKER_STATE
-    cache = AnalysisCache()
-    if snapshot is not None:
-        cache.import_snapshot(snapshot)
-    _WORKER_STATE = {"config": config, "cache": cache}
-
-
-def _sanitize_properties(properties: PropertySet) -> dict:
-    """A picklable copy of a run's property set.
-
-    The shared cache is stripped (it travels separately as a delta); any
-    other unpicklable value is dropped and recorded under
-    ``"_dropped_properties"`` so callers can tell the set is partial.
-    """
-    sanitized: dict = {}
-    dropped: list[str] = []
-    for key, value in properties.items():
-        if key == AnalysisCache.PROPERTY_KEY:
-            continue
-        try:
-            pickle.dumps(value)
-        except Exception:
-            dropped.append(key)
-        else:
-            sanitized[key] = value
-    if dropped:
-        sanitized["_dropped_properties"] = dropped
-    return sanitized
-
-
-def _process_job(task: tuple) -> tuple:
-    payload, seed = task
-    state = _WORKER_STATE
-    assert state is not None, "process pool worker was not initialized"
-    config = state["config"]
-    cache = state["cache"]
-    circuit = circuit_from_payload(payload)
-    coupling = config["coupling_map"]
-    if coupling is None:
-        coupling = CouplingMap.full(circuit.num_qubits)
-    manager = pass_manager_for(
-        config["pipeline"],
-        coupling,
-        backend_properties=config["backend_properties"],
-        optimization_level=config["optimization_level"],
-        seed=seed,
-        basis=config["basis"],
-        initial_layout=config["initial_layout"],
-    )
-    result = manager.run_with_result(circuit, PropertySet(), analysis_cache=cache)
-    return (
-        circuit_to_payload(result.circuit),
-        result.metrics,
-        result.loops,
-        result.time,
-        _sanitize_properties(result.properties),
-        cache.export_snapshot(delta_only=True),
-    )
-
-
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
-def _run_process_batch(
-    batch: Sequence[QuantumCircuit],
-    seeds: Sequence,
-    cache: AnalysisCache,
-    workers: int,
-    config: dict,
-) -> list[TranspileResult]:
-    tasks = [
-        (circuit_to_payload(circuit), seed) for circuit, seed in zip(batch, seeds)
-    ]
-    chunksize = max(1, len(tasks) // (workers * 4))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=_mp_context(),
-        initializer=_process_worker_init,
-        initargs=(config, cache.export_snapshot()),
-    ) as pool:
-        outputs = list(pool.map(_process_job, tasks, chunksize=chunksize))
-
-    results = []
-    for payload, metrics, loops, elapsed, props, delta in outputs:
-        cache.import_snapshot(delta)
-        properties = PropertySet(props)
-        properties[AnalysisCache.PROPERTY_KEY] = cache
-        results.append(
-            TranspileResult(
-                circuit=circuit_from_payload(payload),
-                properties=properties,
-                metrics=metrics,
-                loops=loops,
-                time=elapsed,
-            )
-        )
-    return results
+#: executor name -> service mode (the service treats process jobs and
+#: thread jobs uniformly; ``transpile`` only picks the mode).
+_EXECUTOR_MODES = {
+    "serial": "serial",
+    "thread": "thread",
+    "process": "process",
+    "service": "process",
+}
 
 
 def transpile(
@@ -267,45 +151,70 @@ def transpile(
     backend=None,
     coupling_map: CouplingMap | None = None,
     backend_properties=None,
-    pipeline: str = "preset",
-    optimization_level: int = 1,
+    target: Target | str | Sequence | None = None,
+    pipeline: str | None = None,
+    optimization_level: int | None = None,
     seed: int | Sequence[int] | None = None,
-    basis_gates=IBM_BASIS,
+    basis_gates=None,
     initial_layout: Layout | None = None,
     executor: str = "auto",
     max_workers: int | None = None,
     analysis_cache: AnalysisCache | None = None,
     full_result: bool = False,
+    service=None,
 ):
-    """Compile one circuit -- or a batch -- for a target device.
+    """Compile one circuit -- or a batch -- for one or many targets.
 
     Args:
         circuits: a single :class:`QuantumCircuit` or a sequence of them.
-        backend: a device from :mod:`repro.backends`; overrides
-            ``coupling_map``/``backend_properties``.
-        coupling_map: explicit device connectivity.  With neither backend
-            nor map, an all-to-all map of each circuit's width is assumed.
+        backend: a device from :mod:`repro.backends`; shorthand for
+            ``target=Target.from_backend(backend)``.
+        coupling_map: explicit device connectivity (back-compat shorthand
+            for a custom target).  With neither target, backend nor map,
+            an all-to-all target of each circuit's width is assumed.
+        target: a :class:`~repro.transpiler.target.Target`, a preset name
+            (``"melbourne"``, ``"linear:5"``, ``"grid:3x4"``, ...), or a
+            per-circuit sequence of either -- one batch may mix circuits
+            bound for different devices, and each compiles against its own
+            target whichever executor runs it.  A prebuilt ``Target`` is a
+            complete hardware spec: it wins over ``basis_gates``/
+            ``backend_properties``, which only apply while a target is
+            being built from looser inputs (backend, coupling map, preset
+            name, or the all-to-all fallback).
         pipeline: ``"preset"`` (default, dispatches on
             ``optimization_level``), ``"level0"``-``"level3"``, ``"rpo"``,
-            ``"rpo_ext"`` or ``"hoare"``.
+            ``"rpo_ext"`` or ``"hoare"``.  Left unset, a caller-provided
+            ``service``'s configured pipeline applies.
         seed: routing seed; a sequence gives one seed per batched circuit.
-        executor: ``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``
-            (default), which picks by batch size, circuit width and host
-            cores.  All backends produce identical circuits; they differ
-            only in wall-clock.
-        max_workers: pool width for the thread/process backends (default:
+        executor: ``"serial"``, ``"thread"``, ``"process"``, ``"service"``
+            or ``"auto"`` (default), which picks by batch size, circuit
+            width and host cores.  All backends produce identical
+            circuits; they differ only in wall-clock.
+        max_workers: pool width for the pooled backends (default:
             CPU-bounded).
         analysis_cache: a shared :class:`AnalysisCache`; defaults to one
-            fresh cache shared by the whole batch.  The process backend
-            warm-starts workers from its snapshot and merges their deltas
-            back, so the cache stays shared across calls either way.
+            fresh cache shared by the whole batch.  Worker deltas are
+            harvested back into it, so the cache stays shared across
+            calls whichever executor ran them.
         full_result: return :class:`TranspileResult` objects (circuit +
             properties + per-pass metrics) instead of bare circuits.
+        service: a caller-owned, persistent
+            :class:`~repro.transpiler.service.CompileService` to submit
+            through instead of a short-lived per-call one; ``executor``,
+            ``max_workers`` and ``analysis_cache`` are then the service's
+            business and ignored here, and the service's configured
+            pipeline/optimization-level defaults apply to any argument
+            this call leaves unset.
 
     Returns:
         The transpiled circuit (or result) for single-circuit input, else
         a list in input order.
     """
+    from repro.transpiler.service import transpile_batch
+
+    explicit_basis = basis_gates is not None
+    if basis_gates is None:
+        basis_gates = IBM_BASIS
     single = isinstance(circuits, QuantumCircuit)
     batch = [circuits] if single else list(circuits)
     if not batch:
@@ -317,9 +226,29 @@ def transpile(
             f"unknown executor {executor!r}; choose one of {', '.join(EXECUTORS)}"
         )
 
-    if backend is not None:
-        coupling_map = backend.coupling_map
-        backend_properties = backend.properties
+    if service is not None and target is None and backend is None and coupling_map is None:
+        # no hardware named here: the service's configured default target
+        # applies (resolving now would clobber it with all-to-all).  An
+        # explicit basis_gates overrides the basis but keeps the service
+        # target's device (coupling + calibration).
+        base = service.default_target
+        if base is not None and explicit_basis:
+            targets = [
+                Target(
+                    base.coupling_map,
+                    basis=basis_gates,
+                    properties=base.properties,
+                    name=base.name,
+                )
+            ] * len(batch)
+        elif base is None and explicit_basis:
+            targets = resolve_targets(batch, None, None, None, None, basis_gates)
+        else:
+            targets = None
+    else:
+        targets = resolve_targets(
+            batch, target, backend, coupling_map, backend_properties, basis_gates
+        )
 
     if isinstance(seed, (list, tuple)):
         if len(seed) != len(batch):
@@ -330,43 +259,34 @@ def transpile(
     else:
         seeds = [seed] * len(batch)
 
-    cache = analysis_cache if analysis_cache is not None else AnalysisCache()
-    chosen = _choose_executor(batch, executor)
-
-    def job(circuit: QuantumCircuit, job_seed) -> TranspileResult:
-        coupling = coupling_map
-        if coupling is None:
-            coupling = CouplingMap.full(circuit.num_qubits)
-        manager = pass_manager_for(
-            pipeline,
-            coupling,
-            backend_properties=backend_properties,
-            optimization_level=optimization_level,
-            seed=job_seed,
-            basis=basis_gates,
-            initial_layout=initial_layout,
-        )
-        return manager.run_with_result(
-            circuit, PropertySet(), analysis_cache=cache
-        )
-
-    if chosen == "process" and len(batch) > 1:
-        config = dict(
+    if service is not None:
+        results = service.map(
+            batch,
+            targets=targets,
+            seeds=seeds,
             pipeline=pipeline,
-            coupling_map=coupling_map,
-            backend_properties=backend_properties,
             optimization_level=optimization_level,
-            basis=tuple(basis_gates),
             initial_layout=initial_layout,
         )
-        workers = _default_workers(len(batch), max_workers)
-        results = _run_process_batch(batch, seeds, cache, workers, config)
-    elif chosen == "thread" and len(batch) > 1:
-        workers = _default_workers(len(batch), max_workers)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(job, batch, seeds))
     else:
-        results = [job(circuit, s) for circuit, s in zip(batch, seeds)]
+        chosen = _choose_executor(batch, executor)
+        mode = _EXECUTOR_MODES[chosen]
+        if len(batch) == 1 and mode != "serial":
+            mode = "serial"  # a pool cannot help a single job
+        cache = analysis_cache if analysis_cache is not None else AnalysisCache()
+        results = transpile_batch(
+            batch,
+            targets,
+            seeds,
+            mode=mode,
+            pipeline=pipeline if pipeline is not None else "preset",
+            optimization_level=(
+                optimization_level if optimization_level is not None else 1
+            ),
+            initial_layout=initial_layout,
+            cache=cache,
+            max_workers=max_workers,
+        )
 
     if not full_result:
         results = [result.circuit for result in results]

@@ -3,7 +3,9 @@
 Every :class:`~repro.transpiler.passmanager.TranspileResult` already carries
 structured per-pass and per-loop metrics; this module rolls a *batch* of
 results up into one JSON-serializable report: per-pass time/gate-delta/
-rewrite aggregates, batch-level wall-time and gate-count statistics, and the
+rewrite aggregates, batch-level wall-time and gate-count statistics,
+per-:class:`~repro.transpiler.target.Target` breakdowns (``by_target`` --
+heterogeneous multi-backend batches report each device separately), and the
 shared :class:`~repro.transpiler.cache.AnalysisCache` hit rates.  Benchmarks
 write these reports to disk (``bench_table2_main.py --quick --metrics-json``)
 and CI diffs them against a checked-in baseline
@@ -74,6 +76,7 @@ def aggregate_batch(
     results = list(results)
     passes: dict[str, dict] = {}
     times, sizes, depths, cx_counts, one_q_counts = [], [], [], [], []
+    by_target: dict = {}  # Target (or None) -> running aggregates
     loop_iterations = 0
     loops_converged = 0
     loops_total = 0
@@ -84,6 +87,26 @@ def aggregate_batch(
         ops = result.circuit.count_ops()
         cx_counts.append(ops.get("cx", 0))
         one_q_counts.append(sum(ops.get(name, 0) for name in ONE_QUBIT_GATES))
+        # grouped by the Target *value* (hashable by design), not its
+        # display label -- distinct same-named targets must not merge
+        target = result.properties.get("target")
+        entry = by_target.setdefault(
+            target,
+            {
+                "num_circuits": 0,
+                "time": [],
+                "cx": [],
+                "size": [],
+                "depth": [],
+                "num_qubits": getattr(target, "num_qubits", None),
+                "basis": list(getattr(target, "basis", ()) or ()),
+            },
+        )
+        entry["num_circuits"] += 1
+        entry["time"].append(result.time)
+        entry["cx"].append(float(ops.get("cx", 0)))
+        entry["size"].append(float(result.circuit.size()))
+        entry["depth"].append(float(result.circuit.depth()))
         for metric in result.metrics:
             entry = passes.setdefault(
                 metric.name,
@@ -112,6 +135,16 @@ def aggregate_batch(
             loops_converged += loop.converged
     for entry in passes.values():
         entry["mean_time"] = entry["total_time"] / entry["runs"] if entry["runs"] else 0.0
+    target_report: dict[str, dict] = {}
+    for target, entry in by_target.items():
+        for field in ("time", "cx", "size", "depth"):
+            entry[field] = _stats(entry.pop(field))
+        label = getattr(target, "label", None) or "untargeted"
+        suffix = 2
+        while label in target_report:  # same label, different target value
+            label = f"{getattr(target, 'label', 'untargeted')}#{suffix}"
+            suffix += 1
+        target_report[label] = entry
 
     if cache is None:
         for result in results:
@@ -148,6 +181,7 @@ def aggregate_batch(
             "converged": loops_converged,
         },
         "passes": passes,
+        "by_target": target_report,
         "cache": cache_report,
     }
     return report

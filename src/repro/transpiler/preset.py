@@ -8,6 +8,13 @@ The four levels mirror Qiskit 0.18 (paper Sec. II-B):
 * level 3: level 2 plus two-qubit block re-synthesis in a fixed-point loop
   (paper Fig. 8 without the underlined RPO additions -- those live in
   :func:`repro.rpo.rpo_pass_manager`).
+
+Every factory takes a :class:`~repro.transpiler.target.Target` (basis +
+coupling + calibration data) as its first argument; bare
+:class:`~repro.transpiler.coupling.CouplingMap` values plus the historical
+``basis``/``backend_properties`` keywords are still accepted and coerced.
+The unroll/layout/route stage every level shares is built once by
+:func:`layout_stage`, which the RPO and Hoare pipelines reuse too.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.exceptions import TranspilerError
 from repro.transpiler.layout import Layout
-from repro.transpiler.passmanager import DoWhileController, PassManager
+from repro.transpiler.passmanager import BasePass, DoWhileController, PassManager
 from repro.transpiler.passes import (
     ApplyLayout,
     CommutativeCancellation,
@@ -34,8 +41,11 @@ from repro.transpiler.passes import (
     TrivialLayout,
     Unroller,
 )
+from repro.transpiler.target import Target
 
 __all__ = [
+    "layout_stage",
+    "optimization_loop",
     "level_0_pass_manager",
     "level_1_pass_manager",
     "level_2_pass_manager",
@@ -45,92 +55,127 @@ __all__ = [
 ]
 
 
-def _layout_pass(coupling, backend_properties, initial_layout, dense: bool):
+def _layout_pass(target: Target, initial_layout, dense: bool):
     if initial_layout is not None:
         return SetLayout(initial_layout)
     if dense:
-        return DenseLayout(coupling, backend_properties)
-    return TrivialLayout(coupling)
+        return DenseLayout(target.coupling_map, target.properties)
+    return TrivialLayout(target.coupling_map)
+
+
+def layout_stage(
+    target: Target,
+    *,
+    dense: bool,
+    swap_trials: int,
+    seed: int | None = None,
+    initial_layout: Layout | None = None,
+    unroll_after: bool = True,
+) -> list[BasePass]:
+    """The unroll/layout/route stage shared by every pipeline.
+
+    Unrolls to the target basis, selects a layout (``SetLayout`` when the
+    caller pinned one, else dense noise-aware or trivial), applies it,
+    routes with ``StochasticSwap`` and -- unless ``unroll_after=False``,
+    which the RPO/Hoare pipelines use to splice their own passes between
+    routing and re-unrolling -- lowers the routing-inserted SWAPs back to
+    the basis.
+    """
+    passes: list[BasePass] = [
+        Unroller(target.basis),
+        _layout_pass(target, initial_layout, dense),
+        ApplyLayout(target.coupling_map),
+        StochasticSwap(target.coupling_map, trials=swap_trials, seed=seed),
+    ]
+    if unroll_after:
+        passes.append(Unroller(target.basis))
+    return passes
+
+
+def optimization_loop(basis, *, commutative: bool, consolidate: bool) -> DoWhileController:
+    """The fixed-point optimization loop shared by levels 1-3, RPO and Hoare.
+
+    ``commutative`` adds ``CommutativeCancellation`` (levels 2+);
+    ``consolidate`` adds the two-qubit block re-synthesis prologue
+    (level 3 and the paper pipelines).
+    """
+    passes: list[BasePass] = []
+    if consolidate:
+        passes += [ConsolidateBlocks(), Unroller(basis)]
+    passes.append(Optimize1qGates())
+    if commutative:
+        passes.append(CommutativeCancellation())
+    passes += [CXCancellation(), Size(), FixedPoint("size")]
+    return DoWhileController(
+        passes,
+        do_while=lambda ps: not ps.get("size_fixed_point", False),
+        max_iterations=10,
+    )
 
 
 def level_0_pass_manager(
-    coupling: CouplingMap,
+    target: Target | CouplingMap,
     backend_properties=None,
     seed: int | None = None,
     basis=IBM_BASIS,
     initial_layout: Layout | None = None,
 ) -> PassManager:
     """Map to the device with no explicit optimization."""
+    target = Target.coerce(target, basis=basis, properties=backend_properties)
     pm = PassManager()
-    pm.append(Unroller(basis))
-    pm.append(_layout_pass(coupling, backend_properties, initial_layout, dense=False))
-    pm.append(ApplyLayout(coupling))
-    pm.append(StochasticSwap(coupling, trials=1, seed=seed))
-    pm.append(Unroller(basis))
+    pm.append(
+        layout_stage(
+            target, dense=False, swap_trials=1, seed=seed, initial_layout=initial_layout
+        )
+    )
     pm.append(RemoveAnnotations())
     return pm
 
 
 def level_1_pass_manager(
-    coupling: CouplingMap,
+    target: Target | CouplingMap,
     backend_properties=None,
     seed: int | None = None,
     basis=IBM_BASIS,
     initial_layout: Layout | None = None,
 ) -> PassManager:
     """Light optimization: collapse adjacent gates."""
+    target = Target.coerce(target, basis=basis, properties=backend_properties)
     pm = PassManager()
-    pm.append(Unroller(basis))
-    pm.append(_layout_pass(coupling, backend_properties, initial_layout, dense=False))
-    pm.append(ApplyLayout(coupling))
-    pm.append(StochasticSwap(coupling, trials=3, seed=seed))
-    pm.append(Unroller(basis))
     pm.append(
-        DoWhileController(
-            [Optimize1qGates(), CXCancellation(), Size(), FixedPoint("size")],
-            do_while=lambda ps: not ps.get("size_fixed_point", False),
-            max_iterations=10,
+        layout_stage(
+            target, dense=False, swap_trials=3, seed=seed, initial_layout=initial_layout
         )
     )
+    pm.append(optimization_loop(target.basis, commutative=False, consolidate=False))
     pm.append(RemoveDiagonalGatesBeforeMeasure())
     pm.append(RemoveAnnotations())
     return pm
 
 
 def level_2_pass_manager(
-    coupling: CouplingMap,
+    target: Target | CouplingMap,
     backend_properties=None,
     seed: int | None = None,
     basis=IBM_BASIS,
     initial_layout: Layout | None = None,
 ) -> PassManager:
     """Noise-adaptive layout plus commutation-based cancellation."""
+    target = Target.coerce(target, basis=basis, properties=backend_properties)
     pm = PassManager()
-    pm.append(Unroller(basis))
-    pm.append(_layout_pass(coupling, backend_properties, initial_layout, dense=True))
-    pm.append(ApplyLayout(coupling))
-    pm.append(StochasticSwap(coupling, trials=5, seed=seed))
-    pm.append(Unroller(basis))
     pm.append(
-        DoWhileController(
-            [
-                Optimize1qGates(),
-                CommutativeCancellation(),
-                CXCancellation(),
-                Size(),
-                FixedPoint("size"),
-            ],
-            do_while=lambda ps: not ps.get("size_fixed_point", False),
-            max_iterations=10,
+        layout_stage(
+            target, dense=True, swap_trials=5, seed=seed, initial_layout=initial_layout
         )
     )
+    pm.append(optimization_loop(target.basis, commutative=True, consolidate=False))
     pm.append(RemoveDiagonalGatesBeforeMeasure())
     pm.append(RemoveAnnotations())
     return pm
 
 
 def level_3_pass_manager(
-    coupling: CouplingMap,
+    target: Target | CouplingMap,
     backend_properties=None,
     seed: int | None = None,
     basis=IBM_BASIS,
@@ -140,28 +185,15 @@ def level_3_pass_manager(
 
     This is the baseline the paper compares RPO against (Table II).
     """
+    target = Target.coerce(target, basis=basis, properties=backend_properties)
     pm = PassManager()
-    pm.append(Unroller(basis))
-    pm.append(_layout_pass(coupling, backend_properties, initial_layout, dense=True))
-    pm.append(ApplyLayout(coupling))
-    pm.append(StochasticSwap(coupling, trials=8, seed=seed))
-    pm.append(Unroller(basis))
-    pm.append(Optimize1qGates())
     pm.append(
-        DoWhileController(
-            [
-                ConsolidateBlocks(),
-                Unroller(basis),
-                Optimize1qGates(),
-                CommutativeCancellation(),
-                CXCancellation(),
-                Size(),
-                FixedPoint("size"),
-            ],
-            do_while=lambda ps: not ps.get("size_fixed_point", False),
-            max_iterations=10,
+        layout_stage(
+            target, dense=True, swap_trials=8, seed=seed, initial_layout=initial_layout
         )
     )
+    pm.append(Optimize1qGates())
+    pm.append(optimization_loop(target.basis, commutative=True, consolidate=True))
     pm.append(RemoveDiagonalGatesBeforeMeasure())
     pm.append(RemoveAnnotations())
     return pm

@@ -1,0 +1,671 @@
+"""A long-lived compile service with a persistent worker pool.
+
+:class:`CompileService` is the execution engine behind
+:func:`repro.transpiler.frontend.transpile` and the entry point for
+serving-shaped workloads.  Where ``transpile(executor="process")``
+historically spun a fresh process pool per call -- paying pool start-up,
+worker warm-start and interpreter imports every time --, a service owns
+its pool for its whole lifetime and amortizes those costs across every
+batch submitted to it:
+
+* **persistent pool** -- worker processes (or threads) are created once,
+  lazily on first submission, warm-started from the service cache's
+  snapshot, and reused until :meth:`CompileService.shutdown`;
+* **async submission queue** -- :meth:`CompileService.submit` returns a
+  :class:`concurrent.futures.Future` immediately; :meth:`CompileService.map`
+  is the batch convenience that preserves input order.  Work from many
+  callers interleaves on one pool;
+* **periodic worker cache-delta harvesting** -- workers attach their
+  :class:`~repro.transpiler.cache.AnalysisCache` delta (new entries + stats)
+  to results, throttled by ``harvest_interval`` seconds (0 = every job),
+  and the service merges the deltas into its parent cache as results
+  complete, so the cache keeps warming whichever worker compiled what.
+  Harvested entries are also rebroadcast to the next pool-width's worth
+  of jobs (best effort), so one worker's discoveries reach the *other*
+  live workers, not just the parent;
+* **disk-backed snapshots** -- give the service a ``snapshot_path`` and it
+  boots by importing whatever valid snapshot it finds there
+  (:meth:`AnalysisCache.load_snapshot`) and persists the warmed cache on
+  shutdown (:meth:`AnalysisCache.save`), so warm-start survives process
+  restarts; snapshots are fingerprint-versioned, and one written by a
+  different library version is silently ignored;
+* **per-job targets** -- every submission carries its own
+  :class:`~repro.transpiler.target.Target`, so one service (and one batch)
+  compiles circuits for many different devices; job envelopes ship compact
+  circuit/target payloads (:mod:`repro.circuit.serialization`), and
+  workers memoize rebuilt targets so a coupling map's derived data is
+  computed once per distinct target per worker.
+
+Three modes share one code path: ``"process"`` (the default, compilation
+scales with cores), ``"thread"`` (cheap start-up, GIL-bound) and
+``"serial"`` (inline execution, deterministic, no pool at all).  All modes
+produce identical circuits.
+
+Dispatch is one task per job (each submission is an independent future
+with its own target), so per-job envelope overhead is paid per circuit;
+for very large batches of very cheap circuits a chunked envelope would
+amortize better -- a known trade-off, tracked in the ROADMAP.
+
+Typical lifecycle::
+
+    from repro.transpiler import CompileService, Target
+
+    with CompileService(pipeline="rpo", snapshot_path="cache.snap") as service:
+        futures = [service.submit(c, target="melbourne") for c in circuits]
+        results = [f.result() for f in futures]
+        # ... more batches; the pool and cache stay warm ...
+    # __exit__ drains the pool and persists the cache snapshot
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Sequence
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.serialization import circuit_from_payload, circuit_to_payload
+from repro.transpiler.cache import AnalysisCache
+from repro.transpiler.exceptions import TranspilerError
+from repro.transpiler.passes import IBM_BASIS
+from repro.transpiler.passmanager import PropertySet, TranspileResult
+from repro.transpiler.target import Target
+
+__all__ = ["CompileService", "SERVICE_MODES"]
+
+SERVICE_MODES = ("process", "thread", "serial")
+
+#: Key under which the job's target is recorded in result properties.
+TARGET_PROPERTY = "target"
+
+#: FIFO caps: rebroadcast buffer entries per cache family, and rebuilt
+#: Target objects memoized per worker -- bounded like every other cache
+#: in the codebase, so a long-lived service cannot grow without limit.
+_RESYNC_MAX_PER_FAMILY = 256
+_WORKER_TARGET_MEMO_MAX = 64
+
+
+def default_workers(batch_size: int | None, max_workers: int | None) -> int:
+    """Pool width: caller's choice, else CPU-bounded (and batch-bounded)."""
+    if max_workers:
+        return max_workers
+    cpu_bound = max(1, (os.cpu_count() or 2) - 1)
+    if batch_size is not None:
+        return min(batch_size, cpu_bound)
+    return cpu_bound
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ---------------------------------------------------------------------------
+# worker side
+#
+# Workers are initialized once per pool with the parent cache's warm-start
+# snapshot and the harvest interval; each job then ships a compact circuit
+# payload, a compact target payload and the per-job pipeline settings.
+# Results come back as payloads plus (periodically) the worker cache's
+# delta since its last export.
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: dict | None = None
+
+
+def _service_worker_init(
+    snapshot: dict | None, harvest_interval: float, flush_barrier=None
+) -> None:
+    global _WORKER_STATE
+    cache = AnalysisCache()
+    if snapshot is not None:
+        cache.import_snapshot(snapshot)
+    _WORKER_STATE = {
+        "cache": cache,
+        "harvest_interval": harvest_interval,
+        "last_harvest": time.monotonic(),
+        "targets": {},
+        "flush_barrier": flush_barrier,
+    }
+
+
+def _service_flush():
+    """Shutdown-time harvest: export this worker's unshipped cache delta.
+
+    The barrier makes every worker hold its flush until all of them have
+    picked one up, so the pool cannot hand several flush tasks to one
+    worker while another keeps its delta; if distribution is uneven
+    anyway (a worker mid-job at shutdown), the barrier times out and each
+    flush still exports what its worker holds -- best effort.
+    """
+    state = _WORKER_STATE
+    if state is None:
+        return None
+    barrier = state.get("flush_barrier")
+    if barrier is not None:
+        try:
+            barrier.wait(timeout=2.0)
+        except Exception:
+            pass
+    state["last_harvest"] = time.monotonic()
+    return state["cache"].export_snapshot(delta_only=True)
+
+
+def _sanitize_properties(properties: PropertySet) -> dict:
+    """A picklable copy of a run's property set.
+
+    The shared cache is stripped (it travels separately as a delta); any
+    other unpicklable value is dropped and recorded under
+    ``"_dropped_properties"`` so callers can tell the set is partial.
+    """
+    sanitized: dict = {}
+    dropped: list[str] = []
+    for key, value in properties.items():
+        if key == AnalysisCache.PROPERTY_KEY:
+            continue
+        try:
+            pickle.dumps(value)
+        except Exception:
+            dropped.append(key)
+        else:
+            sanitized[key] = value
+    if dropped:
+        sanitized["_dropped_properties"] = dropped
+    return sanitized
+
+
+def _run_job(circuit: QuantumCircuit, target: Target, settings: dict, cache):
+    """Compile one circuit for one target; shared by every mode."""
+    from repro.transpiler.frontend import pass_manager_for
+
+    manager = pass_manager_for(
+        settings["pipeline"],
+        target,
+        optimization_level=settings["optimization_level"],
+        seed=settings["seed"],
+        initial_layout=settings["initial_layout"],
+    )
+    return manager.run_with_result(circuit, PropertySet(), analysis_cache=cache)
+
+
+def _service_job(task: tuple) -> tuple:
+    """Process-pool entry point: payloads in, payloads + cache delta out."""
+    circuit_payload, target_payload, settings, sync = task
+    state = _WORKER_STATE
+    assert state is not None, "service worker was not initialized"
+    cache = state["cache"]
+    if sync is not None:
+        # entries other workers discovered, rebroadcast by the parent;
+        # existing entries win, so re-imports are cheap no-ops
+        cache.import_snapshot(sync)
+    targets = state["targets"]
+    target = targets.get(target_payload)
+    if target is None:
+        target = Target.from_payload(target_payload)
+        if len(targets) >= _WORKER_TARGET_MEMO_MAX:
+            targets.pop(next(iter(targets)))
+        targets[target_payload] = target
+    circuit = circuit_from_payload(circuit_payload)
+    result = _run_job(circuit, target, settings, cache)
+    delta = None
+    now = time.monotonic()
+    if now - state["last_harvest"] >= state["harvest_interval"]:
+        delta = cache.export_snapshot(delta_only=True)
+        state["last_harvest"] = now
+    return (
+        circuit_to_payload(result.circuit),
+        result.metrics,
+        result.loops,
+        result.time,
+        _sanitize_properties(result.properties),
+        delta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the service
+# ---------------------------------------------------------------------------
+
+
+class CompileService:
+    """A long-lived compile service owning a persistent worker pool."""
+
+    def __init__(
+        self,
+        *,
+        mode: str = "process",
+        max_workers: int | None = None,
+        pipeline: str = "preset",
+        optimization_level: int = 1,
+        target: Target | str | None = None,
+        basis_gates=IBM_BASIS,
+        initial_layout=None,
+        analysis_cache: AnalysisCache | None = None,
+        snapshot_path=None,
+        harvest_interval: float = 0.0,
+    ):
+        """Args:
+            mode: ``"process"`` (default), ``"thread"`` or ``"serial"``.
+            max_workers: pool width (default: CPU count - 1).
+            pipeline / optimization_level / target / basis_gates /
+                initial_layout: defaults applied to submissions that do not
+                override them; ``target`` accepts a :class:`Target` or a
+                preset name (``"melbourne"``, ``"linear:5"``, ...).
+            analysis_cache: the parent cache the service warms and
+                harvests into; defaults to a fresh one.
+            snapshot_path: disk location for cache persistence -- imported
+                (if present and version-compatible) at construction,
+                written back on :meth:`shutdown`.
+            harvest_interval: minimum seconds between a worker's cache
+                delta exports; 0 harvests with every job.
+        """
+        if mode not in SERVICE_MODES:
+            raise TranspilerError(
+                f"unknown service mode {mode!r}; choose one of "
+                f"{', '.join(SERVICE_MODES)}"
+            )
+        self.mode = mode
+        self.max_workers = max_workers
+        self.harvest_interval = float(harvest_interval)
+        self.snapshot_path = snapshot_path
+        self.cache = analysis_cache if analysis_cache is not None else AnalysisCache()
+        self._defaults = {
+            "pipeline": pipeline,
+            "optimization_level": optimization_level,
+            "initial_layout": initial_layout,
+            "seed": None,
+        }
+        self._basis = tuple(basis_gates)
+        self._default_target = (
+            Target.coerce(target, basis=self._basis) if target is not None else None
+        )
+        self._pool = None
+        self._pool_workers = 0
+        self._lock = threading.RLock()
+        self._shutdown = False
+        self._started = time.monotonic()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._harvests = 0
+        self._syncs_sent = 0
+        #: harvested worker entries waiting to be rebroadcast to the next
+        #: ``_resync_remaining`` jobs, so one worker's discoveries reach
+        #: the other live workers too (best effort -- under skewed task
+        #: distribution some workers may be resynced twice, some not at
+        #: all; correctness never depends on it)
+        self._resync_buffer: dict | None = None
+        self._resync_remaining = 0
+        self._snapshot_entries_loaded = 0
+        if snapshot_path is not None:
+            self._snapshot_entries_loaded = self.cache.load_snapshot(snapshot_path)
+
+    @property
+    def default_target(self) -> Target | None:
+        """The target applied to submissions that name none."""
+        return self._default_target
+
+    # -- pool management ---------------------------------------------------
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._shutdown:
+                raise TranspilerError("CompileService has been shut down")
+            if self._pool is None and self.mode != "serial":
+                workers = default_workers(None, self.max_workers)
+                self._pool_workers = workers
+                if self.mode == "process":
+                    context = _mp_context()
+                    # the barrier coordinates the shutdown-time delta
+                    # flush; without throttling every job already ships
+                    # its delta, so there is nothing left to flush
+                    barrier = (
+                        context.Barrier(workers)
+                        if self.harvest_interval > 0
+                        else None
+                    )
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=context,
+                        initializer=_service_worker_init,
+                        initargs=(
+                            self.cache.export_snapshot(),
+                            self.harvest_interval,
+                            barrier,
+                        ),
+                    )
+                else:
+                    self._pool = ThreadPoolExecutor(max_workers=workers)
+            return self._pool
+
+    def _submit_to_pool(self, fn, *args):
+        """Pool submission that cannot race :meth:`shutdown`.
+
+        The lock spans the liveness check and the submission, so a
+        concurrent shutdown either happens before (and this raises the
+        documented :class:`TranspilerError`) or waits until the job is
+        queued.
+        """
+        with self._lock:
+            pool = self._ensure_pool()
+            try:
+                return pool.submit(fn, *args)
+            except RuntimeError as exc:  # pool torn down underneath us
+                raise TranspilerError("CompileService has been shut down") from exc
+
+    # -- submission --------------------------------------------------------
+
+    def _resolve(self, circuit: QuantumCircuit, target, overrides: dict):
+        if not isinstance(circuit, QuantumCircuit):
+            raise TranspilerError("CompileService expects QuantumCircuit inputs")
+        settings = dict(self._defaults)
+        for key, value in overrides.items():
+            if value is not None:
+                settings[key] = value
+        if target is not None:
+            target = Target.coerce(target, basis=self._basis)
+        elif self._default_target is not None:
+            target = self._default_target
+        else:
+            target = Target.full(circuit.num_qubits, basis=self._basis)
+        return target, settings
+
+    def submit(
+        self,
+        circuit: QuantumCircuit,
+        *,
+        target: Target | str | None = None,
+        pipeline: str | None = None,
+        optimization_level: int | None = None,
+        seed: int | None = None,
+        initial_layout=None,
+    ) -> Future:
+        """Queue one compilation; returns a future of a
+        :class:`~repro.transpiler.passmanager.TranspileResult`.
+
+        Process mode snapshots the circuit into a payload at submission
+        time; under serial/thread modes the circuit object itself is
+        handed to the pipeline (passes never mutate their input), so
+        callers should not mutate a submitted circuit before its future
+        resolves.
+        """
+        target, settings = self._resolve(
+            circuit,
+            target,
+            {
+                "pipeline": pipeline,
+                "optimization_level": optimization_level,
+                "seed": seed,
+                "initial_layout": initial_layout,
+            },
+        )
+        outer: Future = Future()
+        if self.mode != "serial":
+            # counted before pool submission: a fast job's done-callback
+            # may increment _completed before submit() returns, and stats()
+            # must never observe completed > submitted
+            with self._lock:
+                self._submitted += 1
+        if self.mode == "process":
+            with self._lock:
+                sync = None
+                if self._resync_remaining > 0 and self._resync_buffer is not None:
+                    # inner dicts copied too: the pool's feeder thread
+                    # pickles the task concurrently with _finish updating
+                    # the buffer
+                    sync = {
+                        family: dict(entries)
+                        for family, entries in self._resync_buffer.items()
+                    }
+                    sync["version"] = AnalysisCache.SNAPSHOT_VERSION
+                    self._resync_remaining -= 1
+                    self._syncs_sent += 1
+                    if self._resync_remaining == 0:
+                        self._resync_buffer = None
+            task = (
+                circuit_to_payload(circuit),
+                target.to_payload(),
+                settings,
+                sync,
+            )
+            inner = self._submit_to_pool(_service_job, task)
+            inner.add_done_callback(
+                lambda f, outer=outer, target=target: self._finish(outer, target, f)
+            )
+        elif self.mode == "thread":
+            inner = self._submit_to_pool(self._run_local, circuit, target, settings)
+            inner.add_done_callback(
+                lambda f, outer=outer: self._finish_local(outer, f)
+            )
+        else:
+            self._ensure_pool()  # raises after shutdown; no pool in serial mode
+            with self._lock:
+                self._submitted += 1
+            try:
+                result = self._run_local(circuit, target, settings)
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                with self._lock:
+                    self._failed += 1
+                outer.set_exception(exc)
+            else:
+                with self._lock:
+                    self._completed += 1
+                outer.set_result(result)
+        return outer
+
+    def map(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        *,
+        targets=None,
+        seeds=None,
+        pipeline: str | None = None,
+        optimization_level: int | None = None,
+        initial_layout=None,
+    ) -> list[TranspileResult]:
+        """Compile a batch; blocks and returns results in input order.
+
+        ``targets`` may be one target (object or preset name) or a
+        per-circuit sequence; ``seeds`` likewise.
+        """
+        batch = list(circuits)
+        if targets is not None and isinstance(targets, (list, tuple)):
+            if len(targets) != len(batch):
+                raise TranspilerError(
+                    f"got {len(targets)} targets for {len(batch)} circuits"
+                )
+            per_circuit_targets = list(targets)
+        else:
+            per_circuit_targets = [targets] * len(batch)
+        if isinstance(seeds, (list, tuple)):
+            if len(seeds) != len(batch):
+                raise TranspilerError(
+                    f"got {len(seeds)} seeds for {len(batch)} circuits"
+                )
+            per_circuit_seeds = list(seeds)
+        else:
+            per_circuit_seeds = [seeds] * len(batch)
+        futures = [
+            self.submit(
+                circuit,
+                target=target,
+                pipeline=pipeline,
+                optimization_level=optimization_level,
+                seed=seed,
+                initial_layout=initial_layout,
+            )
+            for circuit, target, seed in zip(
+                batch, per_circuit_targets, per_circuit_seeds
+            )
+        ]
+        return [future.result() for future in futures]
+
+    # -- result plumbing ---------------------------------------------------
+
+    def _run_local(self, circuit, target: Target, settings: dict) -> TranspileResult:
+        result = _run_job(circuit, target, settings, self.cache)
+        result.properties[TARGET_PROPERTY] = target
+        return result
+
+    def _finish_local(self, outer: Future, inner: Future) -> None:
+        try:
+            result = inner.result()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            with self._lock:
+                self._failed += 1
+            outer.set_exception(exc)
+            return
+        with self._lock:
+            self._completed += 1
+        outer.set_result(result)
+
+    def _finish(self, outer: Future, target: Target, inner: Future) -> None:
+        try:
+            payload, metrics, loops, elapsed, props, delta = inner.result()
+            if delta is not None:
+                with self._lock:
+                    if self.cache.import_snapshot(delta) > 0:
+                        # queue the new entries for rebroadcast so the
+                        # *other* workers see them too
+                        if self._resync_buffer is None:
+                            self._resync_buffer = {}
+                        for family in AnalysisCache._SNAPSHOT_FAMILIES:
+                            entries = delta.get(family)
+                            if entries:
+                                table = self._resync_buffer.setdefault(family, {})
+                                table.update(entries)
+                                while len(table) > _RESYNC_MAX_PER_FAMILY:
+                                    table.pop(next(iter(table)))
+                        self._resync_remaining = max(1, self._pool_workers)
+                    self._harvests += 1
+            properties = PropertySet(props)
+            properties[AnalysisCache.PROPERTY_KEY] = self.cache
+            properties[TARGET_PROPERTY] = target
+            result = TranspileResult(
+                circuit=circuit_from_payload(payload),
+                properties=properties,
+                metrics=metrics,
+                loops=loops,
+                time=elapsed,
+            )
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            with self._lock:
+                self._failed += 1
+            outer.set_exception(exc)
+            return
+        with self._lock:
+            self._completed += 1
+        outer.set_result(result)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def save_snapshot(self, path=None) -> str | None:
+        """Persist the service cache to ``path`` (default: ``snapshot_path``)."""
+        path = path if path is not None else self.snapshot_path
+        if path is None:
+            return None
+        self.cache.save(path)
+        return str(path)
+
+    def _flush_worker_deltas(self, pool, workers: int) -> None:
+        """Best-effort final harvest of deltas still held by workers.
+
+        Only needed under throttled harvesting (``harvest_interval > 0``):
+        jobs finished since each worker's last export have their cache
+        entries sitting worker-side, and a shutdown (followed by a
+        snapshot save) would otherwise lose them.
+        """
+        try:
+            futures = [pool.submit(_service_flush) for _ in range(workers)]
+        except RuntimeError:  # pool already torn down elsewhere
+            return
+        for future in futures:
+            try:
+                delta = future.result(timeout=10.0)
+            except Exception:
+                continue  # flush is best-effort; shutdown must not fail
+            if delta:
+                with self._lock:
+                    self.cache.import_snapshot(delta)
+                    self._harvests += 1
+
+    def shutdown(self, wait: bool = True, save: bool = True) -> None:
+        """Drain the pool and (by default) persist the cache snapshot.
+
+        Under throttled harvesting, worker cache deltas not yet shipped
+        are flushed (best-effort) before the pool drains, so the
+        persisted snapshot reflects the workers' discoveries.  Idempotent;
+        after shutdown, further submissions raise
+        :class:`~repro.transpiler.exceptions.TranspilerError`.
+        """
+        with self._lock:
+            already = self._shutdown
+            self._shutdown = True
+            pool, self._pool = self._pool, None
+            workers = self._pool_workers
+        if pool is not None:
+            if not already and self.mode == "process" and self.harvest_interval > 0:
+                self._flush_worker_deltas(pool, workers)
+            pool.shutdown(wait=wait)
+        if save and not already:
+            self.save_snapshot()
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def stats(self) -> dict:
+        """Service-level counters (JSON-ready)."""
+        return {
+            "mode": self.mode,
+            "uptime": time.monotonic() - self._started,
+            "submitted": self._submitted,
+            "completed": self._completed,
+            "failed": self._failed,
+            "harvests": self._harvests,
+            "syncs_sent": self._syncs_sent,
+            "snapshot_entries_loaded": self._snapshot_entries_loaded,
+            "cache_matrices": len(self.cache._matrices),
+            "cache_requests": self.cache.matrix_requests,
+            "cache_constructions": self.cache.matrix_constructions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "shutdown" if self._shutdown else "live"
+        return (
+            f"<CompileService mode={self.mode} {state} "
+            f"submitted={self._submitted} completed={self._completed}>"
+        )
+
+
+def transpile_batch(
+    batch: Sequence[QuantumCircuit],
+    targets: Sequence[Target],
+    seeds: Sequence,
+    *,
+    mode: str,
+    pipeline: str,
+    optimization_level: int,
+    initial_layout,
+    cache: AnalysisCache,
+    max_workers: int | None,
+) -> list[TranspileResult]:
+    """One batch through a short-lived service (the ``transpile()`` path)."""
+    service = CompileService(
+        mode=mode,
+        max_workers=default_workers(len(batch), max_workers),
+        pipeline=pipeline,
+        optimization_level=optimization_level,
+        initial_layout=initial_layout,
+        analysis_cache=cache,
+    )
+    try:
+        return service.map(batch, targets=targets, seeds=seeds)
+    finally:
+        service.shutdown()

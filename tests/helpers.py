@@ -114,3 +114,21 @@ def random_circuit(
         for qubit in range(num_qubits):
             circuit.measure(qubit, qubit)
     return circuit
+
+
+def respects_coupling(circuit: QuantumCircuit, coupling) -> bool:
+    """True when every two-qubit gate acts on a coupled physical pair.
+
+    The device-validity check for routed circuits: after layout/routing
+    against a :class:`~repro.transpiler.target.Target`, no multi-qubit
+    gate may span qubits its coupling map does not connect.
+    """
+    for instruction in circuit.data:
+        if len(instruction.qubits) == 2 and instruction.operation.name not in (
+            "measure",
+            "barrier",
+        ):
+            a, b = instruction.qubits
+            if not coupling.are_coupled(a, b):
+                return False
+    return True

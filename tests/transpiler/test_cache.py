@@ -209,9 +209,97 @@ class TestWarmStartSnapshots:
         target.import_snapshot(source.export_snapshot())
         assert target.matrix(U1Gate(0.5)) is local
 
-    def test_version_mismatch_rejected(self):
-        with pytest.raises(ValueError, match="version"):
-            AnalysisCache().import_snapshot({"version": 99})
+    def test_format_version_mismatch_is_silent_noop(self):
+        cache = AnalysisCache()
+        assert cache.import_snapshot({"version": 99}) == 0
+        assert not cache._matrices
+        assert cache.stats["snapshot_rejected"] == 1
+
+    def test_library_version_mismatch_is_silent_noop(self):
+        """Regression test: a snapshot written by a different library
+        version must be quietly ignored, not raise."""
+        source = self._warm_cache()
+        snapshot = source.export_snapshot()
+        snapshot["library"] = "repro-0.0.0-from-the-future/snapshot-1"
+        cache = AnalysisCache()
+        assert cache.import_snapshot(snapshot) == 0
+        assert not cache._matrices
+        assert cache.stats["snapshot_rejected"] == 1
+
+    def test_matching_library_stamp_is_accepted(self):
+        from repro.transpiler.cache import library_fingerprint
+
+        snapshot = self._warm_cache().export_snapshot()
+        snapshot["library"] = library_fingerprint()
+        cache = AnalysisCache()
+        assert cache.import_snapshot(snapshot) > 0
+
+    def test_garbage_snapshot_is_silent_noop(self):
+        cache = AnalysisCache()
+        assert cache.import_snapshot("not a snapshot") == 0
+        assert cache.import_snapshot({}) == 0
+
+
+class TestDiskSnapshots:
+    def _warm_cache(self):
+        cache = AnalysisCache()
+        cache.matrix(U3Gate(0.1, 0.2, 0.3))
+        cache.matrix(U1Gate(0.5))
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        cache.same_pair_adjacency(circuit)
+        return cache
+
+    def test_save_load_round_trip(self, tmp_path):
+        source = self._warm_cache()
+        path = tmp_path / "cache.snap"
+        source.save(path)
+        loaded = AnalysisCache.load(path)
+        assert set(loaded._matrices) == set(source._matrices)
+        assert set(loaded._adjacency) == set(source._adjacency)
+        # warm-started entries hit immediately
+        loaded.matrix(U3Gate(0.1, 0.2, 0.3))
+        assert loaded.stats["matrix_hits"] == 1
+
+    def test_load_missing_file_is_silent(self, tmp_path):
+        cache = AnalysisCache()
+        assert cache.load_snapshot(tmp_path / "nope.snap") == 0
+        assert not cache._matrices
+
+    def test_load_corrupt_file_is_silent(self, tmp_path):
+        path = tmp_path / "corrupt.snap"
+        path.write_bytes(b"this is not a pickle")
+        assert AnalysisCache().load_snapshot(path) == 0
+
+    def test_load_other_library_version_is_silent(self, tmp_path):
+        """Regression test for the persisted flavour of the version
+        tolerance: a disk snapshot from another library version must leave
+        the cache cold without raising."""
+        import pickle
+
+        source = self._warm_cache()
+        path = tmp_path / "cache.snap"
+        source.save(path)
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+        snapshot["library"] = "repro-9.9.9/snapshot-1"
+        with open(path, "wb") as handle:
+            pickle.dump(snapshot, handle)
+        loaded = AnalysisCache.load(path)
+        assert not loaded._matrices
+        assert loaded.stats["snapshot_rejected"] == 1
+
+    def test_save_stamps_library_fingerprint(self, tmp_path):
+        import pickle
+
+        from repro.transpiler.cache import library_fingerprint
+
+        path = tmp_path / "cache.snap"
+        self._warm_cache().save(path)
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+        assert snapshot["library"] == library_fingerprint()
+        assert snapshot["version"] == AnalysisCache.SNAPSHOT_VERSION
 
 
 def _table2_workloads():

@@ -22,6 +22,8 @@ from repro.transpiler.frontend import (
     _choose_executor,
 )
 
+from tests.helpers import respects_coupling
+
 EXECUTORS = ("serial", "thread", "process")
 
 
@@ -166,6 +168,96 @@ class TestExecutorParity:
             assert result.loops, "loop metrics survive the pool"
             assert "pass_times" in result.properties
             assert result.analysis_cache is not None  # reattached shared cache
+
+
+class TestHeterogeneousBatches:
+    """Satellite acceptance: mixed-target batches under every executor.
+
+    A batch whose circuits are bound for *different* targets must compile
+    to exactly what per-target serial runs produce -- whichever executor
+    fans it out -- and every output circuit must respect its own target's
+    coupling map.
+    """
+
+    TARGET_POOL = ("melbourne", "linear:8", "ring:8", "grid:2x4")
+
+    @settings(max_examples=4, deadline=None)
+    @given(data=st.data())
+    def test_mixed_target_batches_match_per_target_serial_runs(self, data):
+        from repro.transpiler import Target
+
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        batch_size = data.draw(st.integers(2, 4))
+        pipeline = data.draw(st.sampled_from(["rpo", "level1"]))
+        target_names = [
+            data.draw(st.sampled_from(self.TARGET_POOL), label=f"target{i}")
+            for i in range(batch_size)
+        ]
+        targets = [Target.preset(name) for name in target_names]
+        batch = [
+            _random_circuit(
+                rng,
+                num_qubits=int(rng.integers(2, 5)),
+                depth=int(rng.integers(3, 10)),
+            )
+            for _ in range(batch_size)
+        ]
+        seeds = list(range(batch_size))
+
+        # the ground truth: each circuit compiled alone against its target
+        reference = [
+            transpile(
+                circuit.copy(),
+                target=target,
+                pipeline=pipeline,
+                seed=seed,
+                executor="serial",
+            )
+            for circuit, target, seed in zip(batch, targets, seeds)
+        ]
+
+        for executor in ("serial", "thread", "process", "service"):
+            outputs = transpile(
+                [circuit.copy() for circuit in batch],
+                target=targets,
+                pipeline=pipeline,
+                seed=seeds,
+                executor=executor,
+            )
+            for expected, got, target in zip(reference, outputs, targets):
+                _assert_identical_circuits(expected, got)
+                assert respects_coupling(got, target.coupling_map), (
+                    f"{executor} output violates {target.name} coupling"
+                )
+
+    def test_mixed_targets_through_persistent_service(self):
+        from repro.transpiler import CompileService, Target
+
+        targets = [Target.preset("linear:8"), Target.preset("ring:8")] * 2
+        batch = [QuantumCircuit(3) for _ in range(4)]
+        for circuit in batch:
+            circuit.h(0)
+            circuit.cx(0, 1)
+            circuit.cx(1, 2)
+            circuit.cx(0, 2)
+        seeds = [0, 1, 2, 3]
+        reference = [
+            transpile(c.copy(), target=t, pipeline="rpo", seed=s, executor="serial")
+            for c, t, s in zip(batch, targets, seeds)
+        ]
+        with CompileService(mode="process", pipeline="rpo", max_workers=2) as service:
+            results = transpile(
+                [c.copy() for c in batch],
+                target=targets,
+                pipeline="rpo",
+                seed=seeds,
+                service=service,
+                full_result=True,
+            )
+        for expected, result, target in zip(reference, results, targets):
+            _assert_identical_circuits(expected, result.circuit)
+            assert result.properties["target"] == target
+            assert respects_coupling(result.circuit, target.coupling_map)
 
 
 class TestExecutorSelection:

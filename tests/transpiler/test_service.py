@@ -1,0 +1,362 @@
+"""Tests for the long-lived ``CompileService``.
+
+Covers the lifecycle contract (lazy pool, async submit, graceful
+shutdown), output parity with plain ``transpile()``, worker cache-delta
+harvesting, disk-backed snapshot persistence (the warm-start-survives-
+restart acceptance check) and heterogeneous per-job targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import quantum_phase_estimation, ry_ansatz
+from repro.backends import FakeMelbourne
+from repro.circuit import QuantumCircuit
+from repro.transpiler import (
+    AnalysisCache,
+    CompileService,
+    Target,
+    TranspilerError,
+    transpile,
+)
+
+
+def _assert_identical(a: QuantumCircuit, b: QuantumCircuit):
+    assert abs(a.global_phase - b.global_phase) < 1e-9
+    assert len(a.data) == len(b.data)
+    for inst_a, inst_b in zip(a.data, b.data):
+        assert inst_a.operation.name == inst_b.operation.name
+        assert inst_a.qubits == inst_b.qubits
+        assert inst_a.clbits == inst_b.clbits
+        assert np.allclose(inst_a.operation.params, inst_b.operation.params)
+
+
+@pytest.fixture(scope="module")
+def melbourne():
+    return FakeMelbourne()
+
+
+class TestLifecycle:
+    def test_context_manager_round_trip(self, melbourne):
+        with CompileService(mode="serial", pipeline="rpo") as service:
+            result = service.submit(
+                quantum_phase_estimation(3), target=melbourne.target(), seed=0
+            ).result()
+            assert result.circuit.count_ops()
+        stats = service.stats()
+        assert stats["submitted"] == stats["completed"] == 1
+
+    def test_submit_after_shutdown_raises(self):
+        service = CompileService(mode="serial")
+        service.shutdown()
+        with pytest.raises(TranspilerError, match="shut down"):
+            service.submit(QuantumCircuit(2))
+
+    def test_shutdown_is_idempotent(self):
+        service = CompileService(mode="serial")
+        service.shutdown()
+        service.shutdown()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TranspilerError, match="mode"):
+            CompileService(mode="rocket")
+
+    def test_pool_is_lazy_and_persistent(self):
+        service = CompileService(mode="thread", max_workers=2)
+        assert service._pool is None
+        service.submit(QuantumCircuit(2)).result()
+        pool = service._pool
+        assert pool is not None
+        service.submit(QuantumCircuit(2)).result()
+        assert service._pool is pool  # same pool across submissions
+        service.shutdown()
+
+    def test_futures_resolve_out_of_submission_order(self):
+        with CompileService(mode="thread", pipeline="level1") as service:
+            futures = [
+                service.submit(ry_ansatz(3, depth=2, seed=s), seed=s)
+                for s in range(4)
+            ]
+            results = [f.result() for f in reversed(futures)]
+        assert all(r.circuit.count_ops() for r in results)
+
+    def test_failed_job_propagates_exception(self):
+        with CompileService(mode="serial") as service:
+            with pytest.raises(TranspilerError):
+                service.submit(QuantumCircuit(2), pipeline="warpdrive").result()
+        assert service.stats()["failed"] == 1
+
+    def test_map_seed_length_mismatch(self):
+        with CompileService(mode="serial") as service:
+            with pytest.raises(TranspilerError, match="seeds"):
+                service.map([QuantumCircuit(2)], seeds=[0, 1])
+
+
+class TestParity:
+    """Service output must be identical to plain serial transpile()."""
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_modes_match_transpile(self, mode, melbourne):
+        batch = [quantum_phase_estimation(3), ry_ansatz(4, depth=2, seed=11)]
+        seeds = [0, 1]
+        reference = transpile(
+            [c.copy() for c in batch],
+            backend=melbourne,
+            pipeline="rpo",
+            seed=seeds,
+            executor="serial",
+        )
+        with CompileService(mode=mode, pipeline="rpo") as service:
+            results = service.map(
+                [c.copy() for c in batch],
+                targets=melbourne.target(),
+                seeds=seeds,
+            )
+        for expected, result in zip(reference, results):
+            _assert_identical(expected, result.circuit)
+
+    def test_transpile_routes_through_given_service(self, melbourne):
+        batch = [quantum_phase_estimation(3) for _ in range(2)]
+        with CompileService(mode="serial", pipeline="rpo") as service:
+            via_service = transpile(
+                [c.copy() for c in batch],
+                backend=melbourne,
+                pipeline="rpo",
+                seed=[0, 1],
+                service=service,
+            )
+        assert service.stats()["completed"] == 2
+        direct = transpile(
+            [c.copy() for c in batch],
+            backend=melbourne,
+            pipeline="rpo",
+            seed=[0, 1],
+            executor="serial",
+        )
+        for expected, got in zip(direct, via_service):
+            _assert_identical(expected, got)
+
+    def test_service_defaults_apply_through_transpile(self, melbourne):
+        """Regression test: transpile(service=...) must not override the
+        service's configured pipeline with transpile's own defaults."""
+        circuit = quantum_phase_estimation(3)
+        rpo_reference = transpile(
+            circuit.copy(), backend=melbourne, pipeline="rpo", seed=0,
+        )
+        with CompileService(mode="serial", pipeline="rpo") as service:
+            via_service = transpile(
+                circuit.copy(), backend=melbourne, seed=0, service=service
+            )
+        _assert_identical(rpo_reference, via_service)
+
+    def test_service_default_target_applies_through_transpile(self, melbourne):
+        """Regression test: transpile(service=...) without any hardware
+        argument must use the service's configured target, not silently
+        fall back to all-to-all connectivity."""
+        from tests.helpers import respects_coupling
+
+        circuit = quantum_phase_estimation(3)
+        with CompileService(
+            mode="serial", pipeline="rpo", target=melbourne.target()
+        ) as service:
+            result = transpile(circuit.copy(), service=service, full_result=True)
+        assert result.properties["target"] == melbourne.target()
+        assert result.circuit.num_qubits == 15
+        assert respects_coupling(result.circuit, melbourne.coupling_map)
+
+    def test_explicit_basis_keeps_service_target_device(self, melbourne):
+        """Regression test: basis_gates passed to transpile(service=...)
+        must override the basis while keeping the service target's
+        coupling map, not silently reroute for all-to-all connectivity."""
+        circuit = quantum_phase_estimation(3)
+        with CompileService(
+            mode="serial", pipeline="level1", target=melbourne.target()
+        ) as service:
+            result = transpile(
+                circuit.copy(),
+                basis_gates=("u3", "cx"),
+                service=service,
+                full_result=True,
+            )
+        applied = result.properties["target"]
+        assert applied.basis == ("u3", "cx")
+        assert applied.coupling_map.edges == melbourne.coupling_map.edges
+        assert result.circuit.num_qubits == 15
+
+    def test_explicit_pipeline_still_overrides_service_default(self, melbourne):
+        circuit = quantum_phase_estimation(3)
+        level3_reference = transpile(
+            circuit.copy(), backend=melbourne, pipeline="level3", seed=0
+        )
+        with CompileService(mode="serial", pipeline="rpo") as service:
+            via_service = transpile(
+                circuit.copy(),
+                backend=melbourne,
+                pipeline="level3",
+                seed=0,
+                service=service,
+            )
+        _assert_identical(level3_reference, via_service)
+
+    def test_results_carry_target_and_metrics(self, melbourne):
+        target = melbourne.target()
+        with CompileService(mode="process", pipeline="rpo", max_workers=2) as service:
+            result = service.submit(
+                quantum_phase_estimation(3), target=target, seed=0
+            ).result()
+        assert result.properties["target"] == target
+        assert result.metrics and result.loops
+        assert result.analysis_cache is service.cache
+
+
+class TestCacheHarvesting:
+    def test_worker_deltas_land_in_parent_cache(self, melbourne):
+        cache = AnalysisCache()
+        with CompileService(
+            mode="process", pipeline="rpo", analysis_cache=cache, max_workers=2
+        ) as service:
+            service.map(
+                [quantum_phase_estimation(3) for _ in range(3)],
+                targets=melbourne.target(),
+                seeds=[0, 1, 2],
+            )
+        assert len(cache._matrices) > 0
+        assert cache.stats.get("matrix_misses", 0) > 0  # shipped worker stats
+        assert service.stats()["harvests"] > 0
+
+    def test_harvest_interval_throttles_deltas(self, melbourne):
+        # an hour-long interval means no job ever ships a delta
+        with CompileService(
+            mode="process",
+            pipeline="level1",
+            max_workers=2,
+            harvest_interval=3600.0,
+        ) as service:
+            service.map(
+                [quantum_phase_estimation(3) for _ in range(3)],
+                targets=melbourne.target(),
+                seeds=[0, 1, 2],
+            )
+            assert service.stats()["harvests"] == 0
+
+    def test_harvested_entries_rebroadcast_to_workers(self, melbourne):
+        """One worker's discoveries must reach the other live workers: a
+        second batch's jobs carry the entries harvested from the first."""
+        with CompileService(
+            mode="process", pipeline="rpo", max_workers=2
+        ) as service:
+            service.map(
+                [quantum_phase_estimation(3) for _ in range(2)],
+                targets=melbourne.target(),
+                seeds=[0, 1],
+            )
+            assert service.stats()["syncs_sent"] == 0  # nothing harvested yet
+            results = service.map(
+                [quantum_phase_estimation(3) for _ in range(2)],
+                targets=melbourne.target(),
+                seeds=[0, 1],
+            )
+            assert service.stats()["syncs_sent"] > 0
+        assert all(result.circuit.count_ops() for result in results)
+
+    def test_shutdown_flushes_throttled_deltas(self, melbourne):
+        """Regression test: with a long harvest interval, worker deltas
+        must still reach the parent cache at shutdown (else a persisted
+        snapshot would be cold)."""
+        cache = AnalysisCache()
+        service = CompileService(
+            mode="process",
+            pipeline="level1",
+            analysis_cache=cache,
+            max_workers=2,
+            harvest_interval=3600.0,
+        )
+        service.map(
+            [quantum_phase_estimation(3) for _ in range(3)],
+            targets=melbourne.target(),
+            seeds=[0, 1, 2],
+        )
+        assert service.stats()["harvests"] == 0  # throttle held them back
+        service.shutdown()
+        assert service.stats()["harvests"] > 0
+        assert len(cache._matrices) > 0
+
+    def test_heterogeneous_targets_through_process_pool(self, melbourne):
+        targets = [melbourne.target(), Target.preset("linear:8")]
+        batch = [quantum_phase_estimation(3), quantum_phase_estimation(3)]
+        with CompileService(mode="process", pipeline="rpo", max_workers=2) as service:
+            results = service.map(batch, targets=targets, seeds=[0, 0])
+        assert [r.properties["target"] for r in results] == targets
+        # each output respects its own device size
+        assert results[0].circuit.num_qubits == 15
+        assert results[1].circuit.num_qubits == 8
+
+
+class TestSnapshotPersistence:
+    """Disk-backed snapshots: warm-start must survive a 'restart'."""
+
+    def _batch(self):
+        return [quantum_phase_estimation(3), ry_ansatz(4, depth=2, seed=11)]
+
+    def test_shutdown_persists_and_boot_restores(self, tmp_path, melbourne):
+        path = tmp_path / "service.snap"
+        with CompileService(
+            mode="serial", pipeline="rpo", snapshot_path=path
+        ) as service:
+            service.map(self._batch(), targets=melbourne.target(), seeds=[0, 1])
+            warmed_entries = len(service.cache._matrices)
+            assert warmed_entries > 0
+        assert path.exists()
+
+        # "restart": a brand-new service process boots from the snapshot
+        reborn = CompileService(mode="serial", pipeline="rpo", snapshot_path=path)
+        assert reborn.stats()["snapshot_entries_loaded"] > 0
+        assert len(reborn.cache._matrices) == warmed_entries
+        reborn.shutdown(save=False)
+
+    def test_warm_started_run_beats_cold_hit_rate(self, tmp_path, melbourne):
+        """The acceptance check: a cold process warm-started from a disk
+        snapshot shows a higher cache hit-rate than a truly cold run."""
+        path = tmp_path / "warm.snap"
+        batch = self._batch()
+        target = melbourne.target()
+
+        cold_cache = AnalysisCache()
+        with CompileService(
+            mode="serial",
+            pipeline="rpo",
+            analysis_cache=cold_cache,
+            snapshot_path=path,
+        ) as service:
+            service.map([c.copy() for c in batch], targets=target, seeds=[0, 1])
+        cold_rate = 1.0 - cold_cache.matrix_constructions / cold_cache.matrix_requests
+
+        warm_cache = AnalysisCache()
+        warm = CompileService(
+            mode="serial",
+            pipeline="rpo",
+            analysis_cache=warm_cache,
+            snapshot_path=path,
+        )
+        assert warm.stats()["snapshot_entries_loaded"] > 0
+        warm.map([c.copy() for c in batch], targets=target, seeds=[0, 1])
+        warm.shutdown(save=False)
+        warm_rate = 1.0 - warm_cache.matrix_constructions / warm_cache.matrix_requests
+        assert warm_rate > cold_rate
+
+    def test_missing_snapshot_is_cold_boot(self, tmp_path):
+        service = CompileService(mode="serial", snapshot_path=tmp_path / "absent.snap")
+        assert service.stats()["snapshot_entries_loaded"] == 0
+        service.shutdown(save=False)
+
+    def test_save_snapshot_explicit_path(self, tmp_path, melbourne):
+        with CompileService(mode="serial", pipeline="level1") as service:
+            service.map(self._batch(), targets=melbourne.target(), seeds=[0, 1])
+            written = service.save_snapshot(tmp_path / "explicit.snap")
+        assert written is not None
+        assert AnalysisCache.load(written)._matrices
+
+    def test_save_snapshot_without_path_is_noop(self):
+        service = CompileService(mode="serial")
+        assert service.save_snapshot() is None
+        service.shutdown()
