@@ -15,6 +15,15 @@ With ``--executors REPORT.json`` (the report written by
 fall behind per-call process pools by more than ``--service-tolerance``,
 and the disk-snapshot warm-start must raise the cache hit-rate.
 
+With ``--server REPORT.json`` (the report written by
+``bench_server.py --metrics-json``) the gate checks the **networked
+path**: loopback-remote chunked throughput must stay within
+``--server-wire-tolerance`` (default 1.0, i.e. within 2x) of the
+in-process service, and chunked dispatch must beat
+one-request-per-circuit.  Either report flag may be used without the
+positional table report (the server-smoke CI job gates on the server
+report alone).
+
 Refreshing the baseline after an intentional change::
 
     python benchmarks/bench_table2_main.py --quick \
@@ -72,9 +81,46 @@ def check_service_throughput(report: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_server_throughput(report: dict, wire_tolerance: float) -> list[str]:
+    """Networked-path gates over a ``bench_server.py`` metrics report.
+
+    * chunked dispatch must beat one-request-per-circuit (the whole point
+      of chunked job envelopes);
+    * loopback-remote chunked wall must be <= in-process service wall *
+      (1 + wire_tolerance) -- the wire tax is bounded (2x by default).
+    """
+    failures: list[str] = []
+    walls = report.get("wall_times", {})
+    inprocess = walls.get("inprocess")
+    chunked = walls.get("remote_chunked")
+    per_circuit = walls.get("remote_per_circuit")
+    if inprocess is None or chunked is None or per_circuit is None:
+        return [
+            "server report lacks inprocess/remote_chunked/remote_per_circuit "
+            "wall times; run bench_server.py with --metrics-json"
+        ]
+    if chunked >= per_circuit:
+        failures.append(
+            f"chunked remote dispatch ({chunked:.2f}s) did not beat "
+            f"one-request-per-circuit ({per_circuit:.2f}s)"
+        )
+    if chunked > inprocess * (1.0 + wire_tolerance):
+        failures.append(
+            f"loopback-remote chunked wall {chunked:.2f}s exceeds in-process "
+            f"service {inprocess:.2f}s by more than {wire_tolerance:.0%}"
+        )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="metrics JSON produced by this run")
+    parser.add_argument(
+        "current",
+        nargs="?",
+        default=None,
+        help="metrics JSON produced by this run (optional when only "
+        "--executors / --server gates are requested)",
+    )
     parser.add_argument(
         "baseline",
         nargs="?",
@@ -107,27 +153,53 @@ def main(argv=None):
         help="allowed service wall-clock excess over per-call process pools "
         "(default 0.10)",
     )
-    args = parser.parse_args(argv)
-
-    current = load_metrics_json(args.current)
-    baseline = load_metrics_json(args.baseline)
-    failures = compare_metrics(
-        current,
-        baseline,
-        gate_tolerance=args.gate_tolerance,
-        time_tolerance=args.time_tolerance,
+    parser.add_argument(
+        "--server",
+        metavar="PATH",
+        help="bench_server.py metrics report; enables the networked-path "
+        "gates (chunked beats per-circuit, wire tax within tolerance)",
     )
+    parser.add_argument(
+        "--server-wire-tolerance",
+        type=float,
+        default=1.0,
+        help="allowed loopback-remote wall-clock excess over the in-process "
+        "service (default 1.0 = within 2x)",
+    )
+    args = parser.parse_args(argv)
+    if args.current is None and not (args.executors or args.server):
+        parser.error("need a metrics report (positional) or --executors/--server")
+
+    failures: list[str] = []
+    rows = 0
+    if args.current is not None:
+        current = load_metrics_json(args.current)
+        baseline = load_metrics_json(args.baseline)
+        failures += compare_metrics(
+            current,
+            baseline,
+            gate_tolerance=args.gate_tolerance,
+            time_tolerance=args.time_tolerance,
+        )
+        rows = len(current.get("rows", []))
     if args.executors:
         failures += check_service_throughput(
             load_metrics_json(args.executors), args.service_tolerance
+        )
+    if args.server:
+        failures += check_server_throughput(
+            load_metrics_json(args.server), args.server_wire_tolerance
         )
     if failures:
         print(f"REGRESSIONS vs {args.baseline}:")
         for failure in failures:
             print(f"  - {failure}")
         sys.exit(1)
-    rows = len(current.get("rows", []))
-    checked = " (+ service throughput)" if args.executors else ""
+    checked = ""
+    if args.executors:
+        checked += " (+ service throughput)"
+    if args.server:
+        checked += " (+ server loopback throughput)"
     print(
         f"regression gate passed: {rows} rows within tolerance of baseline"
         f"{checked}"

@@ -1,0 +1,378 @@
+"""``RemoteCompileService``: the drop-in network client.
+
+Mirrors the :class:`~repro.transpiler.service.CompileService` surface --
+``submit()`` returning a :class:`concurrent.futures.Future`, blocking
+order-preserving ``map()``, ``stats()``, ``default_target``, context
+manager -- so anything written against a local service (including
+``frontend.transpile(..., service=...)``) talks to a remote compile farm
+by swapping the object::
+
+    from repro.server import RemoteCompileService
+    from repro.transpiler import transpile
+
+    with RemoteCompileService("http://compile-farm:8642") as remote:
+        results = remote.map(circuits, targets="melbourne", seeds=seeds)
+        # or, drop-in through the front-end:
+        circuits_out = transpile(circuits, target="melbourne", service=remote)
+
+    # the one-liner: transpile() builds (and closes) the client itself
+    transpile(circuits, target="melbourne",
+              executor="remote", endpoint="http://compile-farm:8642")
+
+Transport is stdlib ``urllib`` over the frame protocol of
+:mod:`repro.server.protocol`.  ``map()`` splits the batch into **chunked
+job envelopes** -- one HTTP request per chunk, several chunks in flight at
+once on a small connection pool -- so a 200-circuit batch of cheap
+circuits costs a handful of round-trips, not 200.  Results carry their
+:class:`~repro.transpiler.target.Target` and the serving endpoint (under
+the ``"shard"`` property), which is how
+:func:`repro.transpiler.metrics.aggregate_batch` breaks batches down per
+shard.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Sequence
+
+from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.circuit.serialization import circuit_from_payload, circuit_to_payload
+from repro.server.protocol import (
+    ProtocolError,
+    decode_frame,
+    decode_results,
+    encode_frame,
+    encode_jobs,
+    split_chunks,
+)
+from repro.transpiler.exceptions import TranspilerError
+from repro.transpiler.passes import IBM_BASIS
+from repro.transpiler.passmanager import PropertySet, TranspileResult
+from repro.transpiler.service import (
+    _CHUNK_MAX_JOBS,
+    TARGET_PROPERTY,
+    normalize_batch,
+)
+from repro.transpiler.target import Target
+
+__all__ = ["RemoteCompileService", "SHARD_PROPERTY"]
+
+#: Result-property key naming the endpoint that compiled the job.
+SHARD_PROPERTY = "shard"
+
+#: ``chunk_size="auto"``: keep at least this many chunks per connection
+#: in flight, so a slow chunk cannot serialize the whole batch.
+_MIN_CHUNKS_IN_FLIGHT = 2
+
+
+class RemoteCompileService:
+    """A compile-service client speaking the frame protocol over HTTP."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        *,
+        timeout: float = 300.0,
+        max_connections: int = 4,
+        chunk_size: int | str = "auto",
+        target: Target | str | None = None,
+        basis_gates=IBM_BASIS,
+    ):
+        """Args:
+            endpoint: the server's base URL, e.g. ``"http://host:8642"``.
+            timeout: per-request socket timeout in seconds.  One request
+                carries a whole chunk, so size it for the chunk, not the
+                circuit.
+            max_connections: concurrent requests kept in flight by
+                :meth:`map` (and backing :meth:`submit` futures).
+            chunk_size: jobs per request -- ``"auto"`` (size by batch and
+                connections), or a fixed positive integer (1 = one
+                request per circuit).
+            target / basis_gates: client-side defaults mirroring the
+                local service; jobs always ship a fully-resolved target.
+        """
+        self.endpoint = endpoint.rstrip("/")
+        self.timeout = float(timeout)
+        self.chunk_size = chunk_size
+        self._basis = tuple(basis_gates)
+        self._default_target = (
+            Target.coerce(target, basis=self._basis) if target is not None else None
+        )
+        self._max_connections = max(1, int(max_connections))
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._requests = 0
+        self._jobs_sent = 0
+
+    # -- service-mirror surface --------------------------------------------
+
+    @property
+    def default_target(self) -> Target | None:
+        """The target applied to submissions that name none (mirrors
+        :attr:`CompileService.default_target`, read by ``transpile``)."""
+        return self._default_target
+
+    def submit(
+        self,
+        circuit: QuantumCircuit,
+        *,
+        target: Target | str | None = None,
+        pipeline: str | None = None,
+        optimization_level: int | None = None,
+        seed: int | None = None,
+        initial_layout=None,
+    ) -> Future:
+        """Queue one compilation; returns a future of a
+        :class:`~repro.transpiler.passmanager.TranspileResult`.
+
+        Each ``submit`` is its own single-job request; use :meth:`map`
+        for batches so chunking can amortize the round-trips.
+        """
+        job, resolved_target = self._resolve(
+            circuit, target, pipeline, optimization_level, seed, initial_layout
+        )
+        pool = self._ensure_pool()
+        inner = pool.submit(self._compile_chunk, [job], [resolved_target])
+        outer: Future = Future()
+
+        def relay(done: Future, outer=outer) -> None:
+            try:
+                outcome = done.result()[0]
+            except BaseException as exc:  # noqa: BLE001 - relayed
+                outer.set_exception(exc)
+                return
+            if isinstance(outcome, BaseException):
+                outer.set_exception(outcome)
+            else:
+                outer.set_result(outcome)
+
+        inner.add_done_callback(relay)
+        return outer
+
+    def map(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        *,
+        targets=None,
+        seeds=None,
+        pipeline: str | None = None,
+        optimization_level: int | None = None,
+        initial_layout=None,
+        chunk_size: int | str | None = None,
+    ) -> list[TranspileResult]:
+        """Compile a batch remotely; blocks, preserves input order.
+
+        The batch is cut into chunked job envelopes (one request each,
+        up to ``max_connections`` in flight); per-job remote errors are
+        re-raised here exactly as a local service's ``map`` would raise
+        them.
+        """
+        batch = list(circuits)
+        if not batch:
+            return []
+        per_targets, per_seeds = normalize_batch(batch, targets, seeds)
+        jobs = []
+        resolved_targets = []
+        for circuit, target, seed in zip(batch, per_targets, per_seeds):
+            job, resolved = self._resolve(
+                circuit, target, pipeline, optimization_level, seed, initial_layout
+            )
+            jobs.append(job)
+            resolved_targets.append(resolved)
+        chunk = self._effective_chunk_size(len(jobs), chunk_size)
+        job_chunks = split_chunks(jobs, chunk)
+        target_chunks = split_chunks(resolved_targets, chunk)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._compile_chunk, job_chunk, target_chunk)
+            for job_chunk, target_chunk in zip(job_chunks, target_chunks)
+        ]
+        results: list[TranspileResult] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            for outcome in future.result():
+                if isinstance(outcome, BaseException):
+                    if first_error is None:
+                        first_error = outcome
+                else:
+                    results.append(outcome)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- request plumbing ---------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise TranspilerError("RemoteCompileService has been closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_connections,
+                    thread_name_prefix="remote-compile",
+                )
+            return self._pool
+
+    def _resolve(
+        self, circuit, target, pipeline, optimization_level, seed, initial_layout
+    ) -> tuple[tuple, Target]:
+        if not isinstance(circuit, QuantumCircuit):
+            raise TranspilerError("RemoteCompileService expects QuantumCircuit inputs")
+        if target is not None:
+            resolved = Target.coerce(target, basis=self._basis)
+        elif self._default_target is not None:
+            resolved = self._default_target
+        else:
+            resolved = Target.full(circuit.num_qubits, basis=self._basis)
+        settings = {
+            "pipeline": pipeline,
+            "optimization_level": optimization_level,
+            "seed": seed,
+            "initial_layout": initial_layout,
+        }
+        job = (circuit_to_payload(circuit), resolved.to_payload(), settings)
+        return job, resolved
+
+    def _effective_chunk_size(self, batch_size: int, override) -> int:
+        choice = override if override is not None else self.chunk_size
+        if choice == "auto" or choice is None:
+            # enough chunks to keep every connection busy at least twice
+            # over, each chunk as large as that allows (bounded)
+            per_chunk = max(
+                1,
+                batch_size // (self._max_connections * _MIN_CHUNKS_IN_FLIGHT),
+            )
+            return max(1, min(_CHUNK_MAX_JOBS, per_chunk))
+        return max(1, int(choice))
+
+    def _compile_chunk(self, jobs: list[tuple], targets: list[Target]) -> list:
+        """POST one chunk; returns per-job TranspileResult-or-exception."""
+        frame = encode_frame(encode_jobs(jobs))
+        with self._lock:
+            self._requests += 1
+            self._jobs_sent += len(jobs)
+        envelope = self._post("/compile", frame)
+        outcomes = decode_results(envelope)
+        if len(outcomes) != len(jobs):
+            raise ProtocolError(
+                f"server returned {len(outcomes)} results for {len(jobs)} jobs"
+            )
+        out = []
+        for (status, value), target in zip(outcomes, targets):
+            if status != "ok":
+                out.append(value)
+                continue
+            payload, metrics, loops, elapsed, props = value
+            properties = PropertySet(props)
+            properties[TARGET_PROPERTY] = target
+            properties[SHARD_PROPERTY] = self.endpoint
+            out.append(
+                TranspileResult(
+                    circuit=circuit_from_payload(payload),
+                    properties=properties,
+                    metrics=metrics,
+                    loops=loops,
+                    time=elapsed,
+                )
+            )
+        return out
+
+    def _post(self, path: str, frame: bytes) -> dict:
+        request = urllib.request.Request(
+            self.endpoint + path,
+            data=frame,
+            headers={"Content-Type": "application/x-repro-frame"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return decode_frame(response.read())
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                envelope = decode_frame(body)
+                detail = envelope.get("error", "")
+            except ProtocolError:
+                detail = body[:200].decode("utf-8", "replace")
+            raise ProtocolError(
+                f"compile server at {self.endpoint} answered HTTP "
+                f"{exc.code}: {detail}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise TranspilerError(
+                f"cannot reach compile server at {self.endpoint}: {exc.reason}"
+            ) from None
+
+    def _get_json(self, path: str) -> dict:
+        try:
+            with urllib.request.urlopen(
+                self.endpoint + path, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.URLError as exc:
+            raise TranspilerError(
+                f"cannot reach compile server at {self.endpoint}: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from None
+
+    # -- introspection / lifecycle -----------------------------------------
+
+    def healthz(self) -> dict:
+        """The server's ``/healthz`` body."""
+        return self._get_json("/healthz")
+
+    def stats(self) -> dict:
+        """Client counters + the server's ``/metrics`` body."""
+        remote = self._get_json("/metrics")
+        with self._lock:
+            local = {
+                "endpoint": self.endpoint,
+                "requests": self._requests,
+                "jobs_sent": self._jobs_sent,
+            }
+        return {"client": local, **remote}
+
+    def shutdown_server(self) -> dict:
+        """Ask the server to stop (``POST /shutdown``); returns its ack."""
+        request = urllib.request.Request(
+            self.endpoint + "/shutdown", data=b"", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.URLError as exc:
+            raise TranspilerError(
+                f"cannot reach compile server at {self.endpoint}: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from None
+
+    def close(self) -> None:
+        """Release the client's connection pool (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    #: Local-service compatibility: ``transpile`` and tooling written for
+    #: ``CompileService`` may call ``shutdown()``; for a *client* that
+    #: only ever means "stop talking", never "stop the farm".
+    def shutdown(self, wait: bool = True, save: bool = True) -> None:
+        self.close()
+
+    def __enter__(self) -> "RemoteCompileService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<RemoteCompileService {self.endpoint} {state}>"

@@ -20,9 +20,11 @@ Layers, bottom to top:
   :mod:`repro.rpo` and reuses this infrastructure, including the shared
   :func:`~repro.transpiler.preset.layout_stage` builder.
 * :mod:`repro.transpiler.service` -- the long-lived :class:`CompileService`:
-  a persistent worker pool with an async submission queue, periodic worker
-  cache-delta harvesting and disk-backed cache snapshots, so warm-start
-  survives process restarts.
+  a persistent worker pool with an async submission queue, chunked job
+  envelopes for large batches, periodic worker cache-delta harvesting and
+  disk-backed cache snapshots (shutdown-time and periodic autosave), so
+  warm-start survives process restarts.  :mod:`repro.server` puts this
+  behind an HTTP wire for multi-machine sharding.
 * :mod:`repro.transpiler.frontend` -- the batched :func:`transpile` entry
   point routing every pipeline (presets, RPO, Hoare); a thin wrapper over
   a short-lived service (or a caller-owned persistent one via

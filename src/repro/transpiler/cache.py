@@ -44,14 +44,19 @@ Snapshots also persist across process *restarts*: :meth:`AnalysisCache.save`
 writes the snapshot to disk stamped with a library fingerprint, and
 :meth:`AnalysisCache.load` / :meth:`AnalysisCache.load_snapshot` restore it.
 Restoring is deliberately forgiving -- a snapshot written by a different
-library version (or a corrupt/missing file) is a silent no-op rather than
-an error, so a service can always boot from whatever snapshot it finds.
+library version (or a corrupt/missing file) is a no-op rather than an
+error, so a service can always boot from whatever snapshot it finds.  The
+rejection is *observable*, though: a :class:`RuntimeWarning` names both
+fingerprints, :attr:`AnalysisCache.snapshot_skipped` records the reason,
+and ``stats["snapshot_rejected"]`` counts occurrences, so an operator can
+tell why warm-start did not kick in.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from collections import Counter
 from typing import TYPE_CHECKING
 
@@ -184,6 +189,10 @@ class AnalysisCache:
         self.stats: Counter = Counter()
         #: stats totals as of the last delta export (for incremental stats)
         self._stats_exported: Counter = Counter()
+        #: why the most recent snapshot import was rejected (``None`` when
+        #: nothing was rejected) -- surfaced by ``CompileService.stats()``
+        #: so operators can tell why warm-start did not kick in
+        self.snapshot_skipped: str | None = None
 
     @classmethod
     def ensure(cls, property_set) -> "AnalysisCache":
@@ -346,22 +355,30 @@ class AnalysisCache:
         bounds as organic inserts.
 
         A snapshot written by a different snapshot format or library
-        version (the ``"library"`` stamp :meth:`save` adds) is a **silent
-        no-op**: the method returns 0 and counts the rejection in
-        ``stats["snapshot_rejected"]``.  Persisted snapshots outliving the
-        code that wrote them is the normal case for a long-lived service,
-        not an error.
+        version (the ``"library"`` stamp :meth:`save` adds) is a
+        **non-fatal no-op**: the method returns 0, counts the rejection in
+        ``stats["snapshot_rejected"]``, records the reason in
+        :attr:`snapshot_skipped` and emits a :class:`RuntimeWarning`
+        naming both fingerprints.  Persisted snapshots outliving the code
+        that wrote them is the normal case for a long-lived service, not
+        an error -- but an operator debugging a cold warm-start needs to
+        see which version wrote the snapshot being ignored.
         """
         if not isinstance(snapshot, dict):
-            self.stats["snapshot_rejected"] += 1
-            return 0
+            return self._reject_snapshot(
+                f"not a snapshot mapping (got {type(snapshot).__name__})"
+            )
         if snapshot.get("version") != self.SNAPSHOT_VERSION:
-            self.stats["snapshot_rejected"] += 1
-            return 0
+            return self._reject_snapshot(
+                f"snapshot format version {snapshot.get('version')!r} != "
+                f"this build's {self.SNAPSHOT_VERSION!r}"
+            )
         stamp = snapshot.get("library")
         if stamp is not None and stamp != library_fingerprint():
-            self.stats["snapshot_rejected"] += 1
-            return 0
+            return self._reject_snapshot(
+                f"snapshot written by {stamp!r}, this build is "
+                f"{library_fingerprint()!r}"
+            )
         limits = {
             "matrices": _MAX_MATRICES,
             "adjacency": _MAX_CIRCUIT_VIEWS,
@@ -383,6 +400,17 @@ class AnalysisCache:
         self.stats["snapshot_imports"] += 1
         self.stats["snapshot_entries_adopted"] += adopted
         return adopted
+
+    def _reject_snapshot(self, reason: str) -> int:
+        """Record + warn about an unusable snapshot; always returns 0."""
+        self.stats["snapshot_rejected"] += 1
+        self.snapshot_skipped = reason
+        warnings.warn(
+            f"ignoring analysis-cache snapshot: {reason}; starting cold",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return 0
 
     # -- disk persistence --------------------------------------------------
 
@@ -407,17 +435,24 @@ class AnalysisCache:
 
         Missing files, unreadable or malformed pickles (including ones
         referencing renamed modules from other library versions) and
-        version-mismatched snapshots are all silent no-ops (returning 0),
-        mirroring :meth:`import_snapshot`'s tolerance -- a service must
-        always be able to boot, cold at worst, from whatever it finds.
+        version-mismatched snapshots are all non-fatal no-ops (returning
+        0), mirroring :meth:`import_snapshot`'s tolerance -- a service
+        must always be able to boot, cold at worst, from whatever it
+        finds.  A *missing* file is the expected first boot and stays
+        quiet; anything present-but-unusable warns and sets
+        :attr:`snapshot_skipped` so the cold start is explainable.
         """
         try:
             with open(path, "rb") as handle:
                 snapshot = pickle.load(handle)
-            return self.import_snapshot(snapshot)
-        except Exception:
-            self.stats["snapshot_rejected"] += 1
+        except FileNotFoundError:
             return 0
+        except Exception as exc:
+            return self._reject_snapshot(
+                f"could not read snapshot {str(path)!r} "
+                f"({type(exc).__name__}: {exc})"
+            )
+        return self.import_snapshot(snapshot)
 
     @classmethod
     def load(cls, path) -> "AnalysisCache":

@@ -71,8 +71,10 @@ PIPELINES = (
 #: Executor backends accepted by :func:`transpile`.  ``"service"`` is the
 #: process pool by another name (one short-lived
 #: :class:`~repro.transpiler.service.CompileService` per call); pass
-#: ``service=`` for a persistent one.
-EXECUTORS = ("auto", "serial", "thread", "process", "service")
+#: ``service=`` for a persistent one.  ``"remote"`` ships the batch to
+#: networked compile server(s) named by ``endpoint=`` (one URL, or a list
+#: fanned out shard-aware -- see :mod:`repro.server`).
+EXECUTORS = ("auto", "serial", "thread", "process", "service", "remote")
 
 #: ``auto`` picks the process pool only when the batch is big and wide
 #: enough to amortize pool start-up and payload shipping.
@@ -162,6 +164,7 @@ def transpile(
     analysis_cache: AnalysisCache | None = None,
     full_result: bool = False,
     service=None,
+    endpoint=None,
 ):
     """Compile one circuit -- or a batch -- for one or many targets.
 
@@ -186,10 +189,14 @@ def transpile(
             ``"rpo_ext"`` or ``"hoare"``.  Left unset, a caller-provided
             ``service``'s configured pipeline applies.
         seed: routing seed; a sequence gives one seed per batched circuit.
-        executor: ``"serial"``, ``"thread"``, ``"process"``, ``"service"``
-            or ``"auto"`` (default), which picks by batch size, circuit
-            width and host cores.  All backends produce identical
-            circuits; they differ only in wall-clock.
+        executor: ``"serial"``, ``"thread"``, ``"process"``, ``"service"``,
+            ``"remote"`` or ``"auto"`` (default), which picks by batch
+            size, circuit width and host cores.  All backends produce
+            identical circuits; they differ only in wall-clock.
+            ``"remote"`` requires ``endpoint=`` and routes the batch
+            through a short-lived :class:`~repro.server.RemoteCompileService`
+            (or, for a list of endpoints, a shard-aware
+            :class:`~repro.server.ShardRouter`).
         max_workers: pool width for the pooled backends (default:
             CPU-bounded).
         analysis_cache: a shared :class:`AnalysisCache`; defaults to one
@@ -204,7 +211,13 @@ def transpile(
             ``max_workers`` and ``analysis_cache`` are then the service's
             business and ignored here, and the service's configured
             pipeline/optimization-level defaults apply to any argument
-            this call leaves unset.
+            this call leaves unset.  A
+            :class:`~repro.server.RemoteCompileService` or
+            :class:`~repro.server.ShardRouter` works here too -- they
+            mirror the service surface.
+        endpoint: compile-server URL(s) for ``executor="remote"``: one
+            ``"http://host:port"`` string, or a sequence of them to fan
+            the batch across shards with target-affinity routing.
 
     Returns:
         The transpiled circuit (or result) for single-circuit input, else
@@ -217,14 +230,39 @@ def transpile(
         basis_gates = IBM_BASIS
     single = isinstance(circuits, QuantumCircuit)
     batch = [circuits] if single else list(circuits)
-    if not batch:
-        return []
     if any(not isinstance(circuit, QuantumCircuit) for circuit in batch):
         raise TranspilerError("transpile() expects QuantumCircuit inputs")
     if executor not in EXECUTORS:
         raise TranspilerError(
             f"unknown executor {executor!r}; choose one of {', '.join(EXECUTORS)}"
         )
+    if executor == "remote" and endpoint is None and service is None:
+        raise TranspilerError(
+            'executor="remote" needs endpoint= (one URL, or a list of URLs '
+            "to shard across)"
+        )
+    if endpoint is not None and executor != "remote":
+        raise TranspilerError('endpoint= requires executor="remote"')
+    if endpoint is not None and service is not None:
+        raise TranspilerError("pass either service= or endpoint=, not both")
+    if not batch:
+        # an empty batch is a valid request with a well-formed empty
+        # answer on every executor path -- nothing reaches a pool, a
+        # service or the network
+        return []
+
+    owned_client = None
+    if executor == "remote" and service is None:
+        from repro.server import RemoteCompileService, ShardRouter
+
+        endpoints = (
+            list(endpoint) if isinstance(endpoint, (list, tuple)) else [endpoint]
+        )
+        if len(endpoints) > 1:
+            owned_client = ShardRouter(endpoints, basis_gates=basis_gates)
+        else:
+            owned_client = RemoteCompileService(endpoints[0], basis_gates=basis_gates)
+        service = owned_client
 
     if service is not None and target is None and backend is None and coupling_map is None:
         # no hardware named here: the service's configured default target
@@ -260,14 +298,18 @@ def transpile(
         seeds = [seed] * len(batch)
 
     if service is not None:
-        results = service.map(
-            batch,
-            targets=targets,
-            seeds=seeds,
-            pipeline=pipeline,
-            optimization_level=optimization_level,
-            initial_layout=initial_layout,
-        )
+        try:
+            results = service.map(
+                batch,
+                targets=targets,
+                seeds=seeds,
+                pipeline=pipeline,
+                optimization_level=optimization_level,
+                initial_layout=initial_layout,
+            )
+        finally:
+            if owned_client is not None:
+                owned_client.close()
     else:
         chosen = _choose_executor(batch, executor)
         mode = _EXECUTOR_MODES[chosen]

@@ -28,7 +28,8 @@ batch submitted to it:
   (:meth:`AnalysisCache.load_snapshot`) and persists the warmed cache on
   shutdown (:meth:`AnalysisCache.save`), so warm-start survives process
   restarts; snapshots are fingerprint-versioned, and one written by a
-  different library version is silently ignored;
+  different library version is skipped with a warning naming both
+  fingerprints (``stats()["snapshot_skipped"]`` carries the reason);
 * **per-job targets** -- every submission carries its own
   :class:`~repro.transpiler.target.Target`, so one service (and one batch)
   compiles circuits for many different devices; job envelopes ship compact
@@ -41,10 +42,21 @@ scales with cores), ``"thread"`` (cheap start-up, GIL-bound) and
 ``"serial"`` (inline execution, deterministic, no pool at all).  All modes
 produce identical circuits.
 
-Dispatch is one task per job (each submission is an independent future
-with its own target), so per-job envelope overhead is paid per circuit;
-for very large batches of very cheap circuits a chunked envelope would
-amortize better -- a known trade-off, tracked in the ROADMAP.
+Dispatch is **chunk-aware**: a submission is one task, but
+:meth:`CompileService.map` groups large batches into chunked job
+envelopes (several jobs per pool task, ``chunk_size="auto"`` by default)
+so huge batches of cheap circuits amortize per-task envelope overhead
+instead of paying it per circuit.  Each job inside a chunk still gets its
+own future and its own error, so one bad circuit never poisons its
+chunk-mates.
+
+Services can also keep their warm cache **crash-safe**: pass
+``autosave_interval=N`` (seconds) together with ``snapshot_path`` and a
+daemon timer periodically harvests worker-held deltas
+(:meth:`CompileService.harvest_now`) and persists the cache snapshot
+atomically (write-then-rename), instead of only at shutdown.  The
+HTTP compile server (:mod:`repro.server`) relies on this for warm
+restarts after a crash.
 
 Typical lifecycle::
 
@@ -75,9 +87,34 @@ from repro.transpiler.passes import IBM_BASIS
 from repro.transpiler.passmanager import PropertySet, TranspileResult
 from repro.transpiler.target import Target
 
-__all__ = ["CompileService", "SERVICE_MODES"]
+__all__ = ["CompileService", "SERVICE_MODES", "normalize_batch"]
 
 SERVICE_MODES = ("process", "thread", "serial")
+
+
+def normalize_batch(batch: list, targets, seeds) -> tuple[list, list]:
+    """Per-circuit target/seed lists from single-or-sequence arguments.
+
+    The one normalization every batch front applies --
+    :meth:`CompileService.map`, the remote client and the shard router
+    (:mod:`repro.server`) all share it, so mismatched lengths fail with
+    the same error everywhere.
+    """
+    if targets is not None and isinstance(targets, (list, tuple)):
+        if len(targets) != len(batch):
+            raise TranspilerError(
+                f"got {len(targets)} targets for {len(batch)} circuits"
+            )
+        per_targets = list(targets)
+    else:
+        per_targets = [targets] * len(batch)
+    if isinstance(seeds, (list, tuple)):
+        if len(seeds) != len(batch):
+            raise TranspilerError(f"got {len(seeds)} seeds for {len(batch)} circuits")
+        per_seeds = list(seeds)
+    else:
+        per_seeds = [seeds] * len(batch)
+    return per_targets, per_seeds
 
 #: Key under which the job's target is recorded in result properties.
 TARGET_PROPERTY = "target"
@@ -87,6 +124,10 @@ TARGET_PROPERTY = "target"
 #: in the codebase, so a long-lived service cannot grow without limit.
 _RESYNC_MAX_PER_FAMILY = 256
 _WORKER_TARGET_MEMO_MAX = 64
+
+#: Upper bound on jobs per chunked envelope -- large enough to amortize
+#: dispatch, small enough that one chunk never monopolizes a worker.
+_CHUNK_MAX_JOBS = 64
 
 
 def default_workers(batch_size: int | None, max_workers: int | None) -> int:
@@ -133,14 +174,16 @@ def _service_worker_init(
     }
 
 
-def _service_flush():
-    """Shutdown-time harvest: export this worker's unshipped cache delta.
+def _service_flush(barrier_timeout: float = 2.0):
+    """On-demand harvest: export this worker's unshipped cache delta.
 
     The barrier makes every worker hold its flush until all of them have
     picked one up, so the pool cannot hand several flush tasks to one
     worker while another keeps its delta; if distribution is uneven
-    anyway (a worker mid-job at shutdown), the barrier times out and each
-    flush still exports what its worker holds -- best effort.
+    anyway (a worker mid-job), the barrier times out and each flush still
+    exports what its worker holds -- best effort.  A timed-out barrier is
+    left broken by the stdlib; it is reset here so the *next* flush round
+    (live harvests repeat; shutdown always runs one) coordinates again.
     """
     state = _WORKER_STATE
     if state is None:
@@ -148,7 +191,12 @@ def _service_flush():
     barrier = state.get("flush_barrier")
     if barrier is not None:
         try:
-            barrier.wait(timeout=2.0)
+            barrier.wait(timeout=barrier_timeout)
+        except threading.BrokenBarrierError:
+            try:
+                barrier.reset()
+            except Exception:
+                pass
         except Exception:
             pass
     state["last_harvest"] = time.monotonic()
@@ -192,16 +240,8 @@ def _run_job(circuit: QuantumCircuit, target: Target, settings: dict, cache):
     return manager.run_with_result(circuit, PropertySet(), analysis_cache=cache)
 
 
-def _service_job(task: tuple) -> tuple:
-    """Process-pool entry point: payloads in, payloads + cache delta out."""
-    circuit_payload, target_payload, settings, sync = task
-    state = _WORKER_STATE
-    assert state is not None, "service worker was not initialized"
-    cache = state["cache"]
-    if sync is not None:
-        # entries other workers discovered, rebroadcast by the parent;
-        # existing entries win, so re-imports are cheap no-ops
-        cache.import_snapshot(sync)
+def _worker_target(state: dict, target_payload: tuple) -> Target:
+    """Rebuild (or recall) the job's target, memoized per worker."""
     targets = state["targets"]
     target = targets.get(target_payload)
     if target is None:
@@ -209,21 +249,67 @@ def _service_job(task: tuple) -> tuple:
         if len(targets) >= _WORKER_TARGET_MEMO_MAX:
             targets.pop(next(iter(targets)))
         targets[target_payload] = target
-    circuit = circuit_from_payload(circuit_payload)
-    result = _run_job(circuit, target, settings, cache)
+    return target
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    """``exc`` if it survives pickling, else a faithful stand-in.
+
+    Chunk results travel back through the pool's pickle channel; an
+    unpicklable exception there would fail the *transport* and take the
+    whole chunk's futures down with it, so it is replaced before
+    shipping."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+    except Exception:
+        return TranspilerError(f"job failed: {type(exc).__name__}: {exc}")
+    return exc
+
+
+def _service_chunk(task: tuple) -> tuple:
+    """Process-pool entry point: a chunk of job payloads in, per-job
+    outcomes + (at most) one cache delta out.
+
+    Each job's outcome is ``("ok", result_payloads)`` or
+    ``("error", exception)`` -- a failing job only fails itself, never its
+    chunk-mates.  The harvest-throttle check runs once per chunk, so a
+    chunk of N cheap jobs ships at most one delta, which is the point of
+    chunking.
+    """
+    jobs, sync = task
+    state = _WORKER_STATE
+    assert state is not None, "service worker was not initialized"
+    cache = state["cache"]
+    if sync is not None:
+        # entries other workers discovered, rebroadcast by the parent;
+        # existing entries win, so re-imports are cheap no-ops
+        cache.import_snapshot(sync)
+    outcomes = []
+    for circuit_payload, target_payload, settings in jobs:
+        try:
+            target = _worker_target(state, target_payload)
+            circuit = circuit_from_payload(circuit_payload)
+            result = _run_job(circuit, target, settings, cache)
+            outcomes.append(
+                (
+                    "ok",
+                    (
+                        circuit_to_payload(result.circuit),
+                        result.metrics,
+                        result.loops,
+                        result.time,
+                        _sanitize_properties(result.properties),
+                    ),
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - relayed to the caller
+            outcomes.append(("error", _picklable_exception(exc)))
     delta = None
     now = time.monotonic()
     if now - state["last_harvest"] >= state["harvest_interval"]:
         delta = cache.export_snapshot(delta_only=True)
         state["last_harvest"] = now
-    return (
-        circuit_to_payload(result.circuit),
-        result.metrics,
-        result.loops,
-        result.time,
-        _sanitize_properties(result.properties),
-        delta,
-    )
+    return outcomes, delta
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +333,7 @@ class CompileService:
         analysis_cache: AnalysisCache | None = None,
         snapshot_path=None,
         harvest_interval: float = 0.0,
+        autosave_interval: float = 0.0,
     ):
         """Args:
             mode: ``"process"`` (default), ``"thread"`` or ``"serial"``.
@@ -262,6 +349,10 @@ class CompileService:
                 written back on :meth:`shutdown`.
             harvest_interval: minimum seconds between a worker's cache
                 delta exports; 0 harvests with every job.
+            autosave_interval: seconds between periodic background cache
+                snapshot saves to ``snapshot_path`` (a daemon timer; each
+                save harvests worker deltas first and writes atomically).
+                0 (the default) keeps the historical shutdown-only flush.
         """
         if mode not in SERVICE_MODES:
             raise TranspilerError(
@@ -293,6 +384,9 @@ class CompileService:
         self._failed = 0
         self._harvests = 0
         self._syncs_sent = 0
+        self._chunks = 0
+        self._autosaves = 0
+        self._autosave_timer: threading.Timer | None = None
         #: harvested worker entries waiting to be rebroadcast to the next
         #: ``_resync_remaining`` jobs, so one worker's discoveries reach
         #: the other live workers too (best effort -- under skewed task
@@ -303,6 +397,9 @@ class CompileService:
         self._snapshot_entries_loaded = 0
         if snapshot_path is not None:
             self._snapshot_entries_loaded = self.cache.load_snapshot(snapshot_path)
+        self.autosave_interval = float(autosave_interval)
+        if snapshot_path is not None and self.autosave_interval > 0:
+            self._schedule_autosave()
 
     @property
     def default_target(self) -> Target | None:
@@ -403,6 +500,8 @@ class CompileService:
                 "initial_layout": initial_layout,
             },
         )
+        if self.mode == "process":
+            return self._submit_chunk([(circuit, target, settings)])[0]
         outer: Future = Future()
         if self.mode != "serial":
             # counted before pool submission: a fast job's done-callback
@@ -410,33 +509,7 @@ class CompileService:
             # must never observe completed > submitted
             with self._lock:
                 self._submitted += 1
-        if self.mode == "process":
-            with self._lock:
-                sync = None
-                if self._resync_remaining > 0 and self._resync_buffer is not None:
-                    # inner dicts copied too: the pool's feeder thread
-                    # pickles the task concurrently with _finish updating
-                    # the buffer
-                    sync = {
-                        family: dict(entries)
-                        for family, entries in self._resync_buffer.items()
-                    }
-                    sync["version"] = AnalysisCache.SNAPSHOT_VERSION
-                    self._resync_remaining -= 1
-                    self._syncs_sent += 1
-                    if self._resync_remaining == 0:
-                        self._resync_buffer = None
-            task = (
-                circuit_to_payload(circuit),
-                target.to_payload(),
-                settings,
-                sync,
-            )
-            inner = self._submit_to_pool(_service_job, task)
-            inner.add_done_callback(
-                lambda f, outer=outer, target=target: self._finish(outer, target, f)
-            )
-        elif self.mode == "thread":
+        if self.mode == "thread":
             inner = self._submit_to_pool(self._run_local, circuit, target, settings)
             inner.add_done_callback(
                 lambda f, outer=outer: self._finish_local(outer, f)
@@ -457,6 +530,128 @@ class CompileService:
                 outer.set_result(result)
         return outer
 
+    def _take_sync(self) -> dict | None:
+        """Pop one rebroadcast snapshot for the next outgoing task, if due."""
+        with self._lock:
+            if self._resync_remaining <= 0 or self._resync_buffer is None:
+                return None
+            # inner dicts copied too: the pool's feeder thread pickles the
+            # task concurrently with _finish_chunk updating the buffer
+            sync = {
+                family: dict(entries)
+                for family, entries in self._resync_buffer.items()
+            }
+            sync["version"] = AnalysisCache.SNAPSHOT_VERSION
+            self._resync_remaining -= 1
+            self._syncs_sent += 1
+            if self._resync_remaining == 0:
+                self._resync_buffer = None
+            return sync
+
+    def _submit_chunk(self, resolved: list[tuple]) -> list[Future]:
+        """Ship ``resolved`` jobs (already target/settings-resolved) as ONE
+        pool task; returns one future per job.
+
+        This is the chunked job envelope: per-task costs -- pickling the
+        envelope, pool dispatch, the sync snapshot, the harvest check --
+        are paid once per chunk rather than once per circuit, which is
+        what lets huge batches of cheap circuits keep the pool busy
+        instead of the feeder thread.
+        """
+        payload_jobs = [
+            (circuit_to_payload(circuit), target.to_payload(), settings)
+            for circuit, target, settings in resolved
+        ]
+        targets = [target for _, target, _ in resolved]
+        return self._submit_payload_chunk(payload_jobs, targets)
+
+    def _submit_payload_chunk(
+        self, payload_jobs: list[tuple], targets: list[Target]
+    ) -> list[Future]:
+        """Chunk submission for jobs already in compact payload form."""
+        with self._lock:
+            self._submitted += len(payload_jobs)
+            self._chunks += 1
+        task = (tuple(payload_jobs), self._take_sync())
+        outers = [Future() for _ in payload_jobs]
+        inner = self._submit_to_pool(_service_chunk, task)
+        inner.add_done_callback(
+            lambda f, outers=outers, targets=targets: self._finish_chunk(
+                outers, targets, f
+            )
+        )
+        return outers
+
+    def submit_payloads(self, jobs: Sequence[tuple]) -> list[Future]:
+        """Queue pre-encoded jobs: ``(circuit_payload, target_payload,
+        settings)`` tuples, exactly the wire form the compile server's
+        envelopes carry (:mod:`repro.server.protocol`).
+
+        In process mode the payloads go to the pool **as-is** -- the
+        server never rebuilds a circuit object just to re-flatten it --
+        split into chunks by the ``"auto"`` policy; serial/thread modes
+        rebuild the objects and run them inline.  ``settings`` entries
+        that are ``None`` fall back to the service defaults, mirroring
+        :meth:`submit`.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        prepared: list[tuple] = []
+        targets: list[Target] = []
+        target_memo: dict = {}
+        for circuit_payload, target_payload, settings in jobs:
+            merged = dict(self._defaults)
+            for key, value in dict(settings).items():
+                if value is not None:
+                    merged[key] = value
+            target = target_memo.get(target_payload)
+            if target is None:
+                target = Target.from_payload(target_payload)
+                target_memo[target_payload] = target
+            targets.append(target)
+            prepared.append((circuit_payload, target_payload, merged))
+        if self.mode == "process":
+            self._ensure_pool()  # raises after shutdown; sizes chunk policy
+            chunk = self.chunk_size_for(len(prepared))
+            futures: list[Future] = []
+            for start in range(0, len(prepared), chunk):
+                futures.extend(
+                    self._submit_payload_chunk(
+                        prepared[start : start + chunk],
+                        targets[start : start + chunk],
+                    )
+                )
+            return futures
+        futures = []
+        for (circuit_payload, _, merged), target in zip(prepared, targets):
+            futures.append(
+                self.submit(
+                    circuit_from_payload(circuit_payload),
+                    target=target,
+                    pipeline=merged["pipeline"],
+                    optimization_level=merged["optimization_level"],
+                    seed=merged["seed"],
+                    initial_layout=merged["initial_layout"],
+                )
+            )
+        return futures
+
+    def chunk_size_for(self, batch_size: int) -> int:
+        """The ``chunk_size="auto"`` policy: per-job dispatch for batches
+        the pool width can absorb, chunks for everything bigger.
+
+        Chunks are sized to leave every worker several tasks (so a slow
+        chunk cannot serialize the tail of the batch) and capped so one
+        envelope never grows unboundedly large.
+        """
+        if self.mode != "process":
+            return 1  # no envelope to amortize without a process boundary
+        workers = self._pool_workers or default_workers(batch_size, self.max_workers)
+        if batch_size <= 2 * workers:
+            return 1
+        return max(1, min(_CHUNK_MAX_JOBS, batch_size // (workers * 4)))
+
     def map(
         self,
         circuits: Sequence[QuantumCircuit],
@@ -466,42 +661,61 @@ class CompileService:
         pipeline: str | None = None,
         optimization_level: int | None = None,
         initial_layout=None,
+        chunk_size: int | str | None = None,
     ) -> list[TranspileResult]:
         """Compile a batch; blocks and returns results in input order.
 
         ``targets`` may be one target (object or preset name) or a
-        per-circuit sequence; ``seeds`` likewise.
+        per-circuit sequence; ``seeds`` likewise.  ``chunk_size`` groups
+        consecutive jobs into chunked envelopes (process mode only):
+        ``None``/``"auto"`` sizes chunks by batch size and pool width, 1
+        forces per-job dispatch, any larger integer is used as given.
         """
         batch = list(circuits)
-        if targets is not None and isinstance(targets, (list, tuple)):
-            if len(targets) != len(batch):
-                raise TranspilerError(
-                    f"got {len(targets)} targets for {len(batch)} circuits"
-                )
-            per_circuit_targets = list(targets)
+        per_circuit_targets, per_circuit_seeds = normalize_batch(
+            batch, targets, seeds
+        )
+        if chunk_size is None or chunk_size == "auto":
+            chunk = self.chunk_size_for(len(batch))
         else:
-            per_circuit_targets = [targets] * len(batch)
-        if isinstance(seeds, (list, tuple)):
-            if len(seeds) != len(batch):
-                raise TranspilerError(
-                    f"got {len(seeds)} seeds for {len(batch)} circuits"
+            chunk = max(1, int(chunk_size))
+        if chunk > 1 and self.mode == "process":
+            resolved = [
+                self._resolve(
+                    circuit,
+                    target,
+                    {
+                        "pipeline": pipeline,
+                        "optimization_level": optimization_level,
+                        "seed": seed,
+                        "initial_layout": initial_layout,
+                    },
                 )
-            per_circuit_seeds = list(seeds)
+                for circuit, target, seed in zip(
+                    batch, per_circuit_targets, per_circuit_seeds
+                )
+            ]
+            jobs = [
+                (circuit, target, settings)
+                for circuit, (target, settings) in zip(batch, resolved)
+            ]
+            futures = []
+            for start in range(0, len(jobs), chunk):
+                futures.extend(self._submit_chunk(jobs[start : start + chunk]))
         else:
-            per_circuit_seeds = [seeds] * len(batch)
-        futures = [
-            self.submit(
-                circuit,
-                target=target,
-                pipeline=pipeline,
-                optimization_level=optimization_level,
-                seed=seed,
-                initial_layout=initial_layout,
-            )
-            for circuit, target, seed in zip(
-                batch, per_circuit_targets, per_circuit_seeds
-            )
-        ]
+            futures = [
+                self.submit(
+                    circuit,
+                    target=target,
+                    pipeline=pipeline,
+                    optimization_level=optimization_level,
+                    seed=seed,
+                    initial_layout=initial_layout,
+                )
+                for circuit, target, seed in zip(
+                    batch, per_circuit_targets, per_circuit_seeds
+                )
+            ]
         return [future.result() for future in futures]
 
     # -- result plumbing ---------------------------------------------------
@@ -523,64 +737,161 @@ class CompileService:
             self._completed += 1
         outer.set_result(result)
 
-    def _finish(self, outer: Future, target: Target, inner: Future) -> None:
-        try:
-            payload, metrics, loops, elapsed, props, delta = inner.result()
-            if delta is not None:
-                with self._lock:
-                    if self.cache.import_snapshot(delta) > 0:
-                        # queue the new entries for rebroadcast so the
-                        # *other* workers see them too
-                        if self._resync_buffer is None:
-                            self._resync_buffer = {}
-                        for family in AnalysisCache._SNAPSHOT_FAMILIES:
-                            entries = delta.get(family)
-                            if entries:
-                                table = self._resync_buffer.setdefault(family, {})
-                                table.update(entries)
-                                while len(table) > _RESYNC_MAX_PER_FAMILY:
-                                    table.pop(next(iter(table)))
-                        self._resync_remaining = max(1, self._pool_workers)
-                    self._harvests += 1
-            properties = PropertySet(props)
-            properties[AnalysisCache.PROPERTY_KEY] = self.cache
-            properties[TARGET_PROPERTY] = target
-            result = TranspileResult(
-                circuit=circuit_from_payload(payload),
-                properties=properties,
-                metrics=metrics,
-                loops=loops,
-                time=elapsed,
-            )
-        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
-            with self._lock:
-                self._failed += 1
-            outer.set_exception(exc)
-            return
+    def _merge_delta(self, delta: dict) -> None:
+        """Adopt a worker's cache delta and queue it for rebroadcast."""
         with self._lock:
-            self._completed += 1
-        outer.set_result(result)
+            if self.cache.import_snapshot(delta) > 0:
+                # queue the new entries for rebroadcast so the *other*
+                # workers see them too
+                if self._resync_buffer is None:
+                    self._resync_buffer = {}
+                for family in AnalysisCache._SNAPSHOT_FAMILIES:
+                    entries = delta.get(family)
+                    if entries:
+                        table = self._resync_buffer.setdefault(family, {})
+                        table.update(entries)
+                        while len(table) > _RESYNC_MAX_PER_FAMILY:
+                            table.pop(next(iter(table)))
+                self._resync_remaining = max(1, self._pool_workers)
+            self._harvests += 1
+
+    def _finish_chunk(
+        self, outers: list[Future], targets: list[Target], inner: Future
+    ) -> None:
+        """Scatter one chunk task's outcomes onto its per-job futures."""
+        try:
+            outcomes, delta = inner.result()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            # the chunk itself died (pool torn down, envelope unpicklable):
+            # every job of the chunk shares that fate
+            for outer in outers:
+                self._fail_future(outer, exc)
+            return
+        if delta is not None:
+            self._merge_delta(delta)
+        if len(outcomes) != len(outers):  # never expected; fail loudly, not hang
+            error = TranspilerError(
+                f"chunk returned {len(outcomes)} outcomes for {len(outers)} jobs"
+            )
+            for outer in outers:
+                self._fail_future(outer, error)
+            return
+        for outer, target, outcome in zip(outers, targets, outcomes):
+            # per-job isolation holds on the parent side too: a payload
+            # that fails to rebuild (or an outer future the caller
+            # cancelled, making set_result raise) must not abandon the
+            # remaining chunk-mates' futures
+            try:
+                status, value = outcome
+                if status != "ok":
+                    self._fail_future(outer, value)
+                    continue
+                payload, metrics, loops, elapsed, props = value
+                properties = PropertySet(props)
+                properties[AnalysisCache.PROPERTY_KEY] = self.cache
+                properties[TARGET_PROPERTY] = target
+                result = TranspileResult(
+                    circuit=circuit_from_payload(payload),
+                    properties=properties,
+                    metrics=metrics,
+                    loops=loops,
+                    time=elapsed,
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed per job
+                self._fail_future(outer, exc)
+                continue
+            with self._lock:
+                self._completed += 1
+            try:
+                outer.set_result(result)
+            except Exception:
+                pass  # caller cancelled the future; result has no taker
+
+    def _fail_future(self, outer: Future, exc: BaseException) -> None:
+        with self._lock:
+            self._failed += 1
+        try:
+            outer.set_exception(exc)
+        except Exception:
+            pass  # caller cancelled the future; nothing left to notify
 
     # -- lifecycle ---------------------------------------------------------
 
     def save_snapshot(self, path=None) -> str | None:
-        """Persist the service cache to ``path`` (default: ``snapshot_path``)."""
+        """Persist the service cache to ``path`` (default: ``snapshot_path``).
+
+        The write is atomic (tmp file + rename, see
+        :meth:`AnalysisCache.save`), so a crash mid-save -- or a reader
+        racing the autosave timer -- never sees a truncated snapshot.
+        """
         path = path if path is not None else self.snapshot_path
         if path is None:
             return None
         self.cache.save(path)
         return str(path)
 
-    def _flush_worker_deltas(self, pool, workers: int) -> None:
-        """Best-effort final harvest of deltas still held by workers.
+    def harvest_now(self) -> int:
+        """Best-effort flush of worker-held cache deltas, pool kept alive.
+
+        Unlike the shutdown flush this leaves the pool serving; it exists
+        so periodic snapshot saves (and a compile server's ``/metrics``)
+        can see worker discoveries that throttled harvesting
+        (``harvest_interval > 0``) is still holding worker-side.  Returns
+        the number of deltas merged.  A no-op outside throttled process
+        mode, where every job (or chunk) already ships its delta.
+        """
+        with self._lock:
+            pool = self._pool
+            workers = self._pool_workers
+        if pool is None or self.mode != "process" or self.harvest_interval <= 0:
+            return 0
+        before = self._harvests
+        # short barrier wait: a live pool may be mid-chunk, and an
+        # autosave tick must not idle the other workers for long
+        self._flush_worker_deltas(pool, workers, barrier_timeout=0.25)
+        return self._harvests - before
+
+    # -- periodic background autosave --------------------------------------
+
+    def _schedule_autosave(self) -> None:
+        timer = threading.Timer(self.autosave_interval, self._autosave_tick)
+        timer.daemon = True  # never keeps the interpreter alive
+        self._autosave_timer = timer
+        timer.start()
+
+    def _autosave_tick(self) -> None:
+        """One autosave: harvest stragglers, persist, re-arm the timer."""
+        with self._lock:
+            if self._shutdown:
+                return
+        try:
+            self.harvest_now()
+            self.save_snapshot()
+            with self._lock:
+                self._autosaves += 1
+        except Exception:  # noqa: BLE001 - autosave is best-effort
+            pass  # a failed save must not kill the timer; next tick retries
+        finally:
+            with self._lock:
+                if not self._shutdown:
+                    self._schedule_autosave()
+
+    def _flush_worker_deltas(
+        self, pool, workers: int, barrier_timeout: float = 2.0
+    ) -> None:
+        """Best-effort harvest of deltas still held by workers.
 
         Only needed under throttled harvesting (``harvest_interval > 0``):
         jobs finished since each worker's last export have their cache
-        entries sitting worker-side, and a shutdown (followed by a
-        snapshot save) would otherwise lose them.
+        entries sitting worker-side, and a snapshot save would otherwise
+        miss them.  ``barrier_timeout`` bounds how long a flush task may
+        idle a worker waiting for its peers -- shutdown affords the full
+        wait, live harvests (autosave ticks) pass a short one.
         """
         try:
-            futures = [pool.submit(_service_flush) for _ in range(workers)]
+            futures = [
+                pool.submit(_service_flush, barrier_timeout) for _ in range(workers)
+            ]
         except RuntimeError:  # pool already torn down elsewhere
             return
         for future in futures:
@@ -607,6 +918,10 @@ class CompileService:
             self._shutdown = True
             pool, self._pool = self._pool, None
             workers = self._pool_workers
+            timer, self._autosave_timer = self._autosave_timer, None
+        if timer is not None:
+            timer.cancel()
+            timer.join(timeout=5.0)  # cancel() wakes it; exit is immediate
         if pool is not None:
             if not already and self.mode == "process" and self.harvest_interval > 0:
                 self._flush_worker_deltas(pool, workers)
@@ -630,7 +945,10 @@ class CompileService:
             "failed": self._failed,
             "harvests": self._harvests,
             "syncs_sent": self._syncs_sent,
+            "chunks": self._chunks,
+            "autosaves": self._autosaves,
             "snapshot_entries_loaded": self._snapshot_entries_loaded,
+            "snapshot_skipped": self.cache.snapshot_skipped,
             "cache_matrices": len(self.cache._matrices),
             "cache_requests": self.cache.matrix_requests,
             "cache_constructions": self.cache.matrix_constructions,

@@ -1,0 +1,400 @@
+"""Loopback end-to-end tests: server, remote client, shard router.
+
+The acceptance checks of the networked subsystem: results through
+``RemoteCompileService`` (and through ``transpile(executor="remote")``)
+must be **bit-identical** to ``executor="serial"``; job errors must come
+back per job; ``/healthz`` and ``/metrics`` must answer; the shard
+router must keep one target on one shard; and the empty batch must be an
+empty answer on every path.
+
+Servers here run ``mode="serial"`` (deterministic, no pool start-up per
+test) except the one process-mode round-trip; the protocol and HTTP
+layers under test are identical in every mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import quantum_phase_estimation, ry_ansatz
+from repro.circuit import QuantumCircuit
+from repro.server import (
+    CompileServer,
+    ProtocolError,
+    RemoteCompileService,
+    ShardRouter,
+)
+from repro.transpiler import (
+    Target,
+    TranspilerError,
+    aggregate_batch,
+    transpile,
+)
+
+
+def _assert_identical(a: QuantumCircuit, b: QuantumCircuit):
+    assert abs(a.global_phase - b.global_phase) < 1e-9
+    assert len(a.data) == len(b.data)
+    for inst_a, inst_b in zip(a.data, b.data):
+        assert inst_a.operation.name == inst_b.operation.name
+        assert inst_a.qubits == inst_b.qubits
+        assert inst_a.clbits == inst_b.clbits
+        assert np.allclose(inst_a.operation.params, inst_b.operation.params)
+
+
+def _batch():
+    return [quantum_phase_estimation(3), ry_ansatz(4, depth=2, seed=11)] * 2
+
+
+@pytest.fixture(scope="module")
+def server():
+    with CompileServer(mode="serial", pipeline="rpo") as srv:
+        yield srv.start()
+
+
+@pytest.fixture(scope="module")
+def remote(server):
+    with RemoteCompileService(server.endpoint) as client:
+        yield client
+
+
+class TestRemoteParity:
+    def test_map_matches_serial_executor(self, remote):
+        batch = _batch()
+        seeds = list(range(len(batch)))
+        reference = transpile(
+            [c.copy() for c in batch],
+            target="melbourne",
+            pipeline="rpo",
+            seed=seeds,
+            executor="serial",
+        )
+        results = remote.map(
+            [c.copy() for c in batch],
+            targets="melbourne",
+            seeds=seeds,
+            pipeline="rpo",
+        )
+        for expected, result in zip(reference, results):
+            _assert_identical(expected, result.circuit)
+            assert result.metrics and result.loops
+            assert result.properties["target"] == Target.preset("melbourne")
+            assert result.properties["shard"] == remote.endpoint
+
+    def test_transpile_remote_executor_is_drop_in(self, server):
+        batch = _batch()
+        seeds = list(range(len(batch)))
+        reference = transpile(
+            [c.copy() for c in batch],
+            target="melbourne",
+            pipeline="rpo",
+            seed=seeds,
+            executor="serial",
+        )
+        results = transpile(
+            [c.copy() for c in batch],
+            target="melbourne",
+            pipeline="rpo",
+            seed=seeds,
+            executor="remote",
+            endpoint=server.endpoint,
+        )
+        for expected, got in zip(reference, results):
+            _assert_identical(expected, got)
+
+    def test_transpile_routes_through_remote_service_object(self, server):
+        circuit = quantum_phase_estimation(3)
+        reference = transpile(
+            circuit.copy(), target="melbourne", pipeline="rpo", seed=0
+        )
+        with RemoteCompileService(server.endpoint) as client:
+            via_service = transpile(
+                circuit.copy(),
+                target="melbourne",
+                pipeline="rpo",
+                seed=0,
+                service=client,
+            )
+        _assert_identical(reference, via_service)
+
+    def test_submit_single_job(self, remote):
+        result = remote.submit(
+            quantum_phase_estimation(3), target="melbourne", pipeline="rpo", seed=0
+        ).result()
+        assert result.circuit.count_ops()
+
+    def test_forced_single_job_chunks_match_auto(self, remote):
+        """chunk_size=1 (one request per circuit) and auto chunking must
+        produce identical circuits -- chunking is transport, not policy."""
+        batch = _batch()
+        seeds = list(range(len(batch)))
+        fine = remote.map(
+            [c.copy() for c in batch],
+            targets="melbourne",
+            seeds=seeds,
+            pipeline="rpo",
+            chunk_size=1,
+        )
+        coarse = remote.map(
+            [c.copy() for c in batch],
+            targets="melbourne",
+            seeds=seeds,
+            pipeline="rpo",
+            chunk_size=len(batch),
+        )
+        for a, b in zip(fine, coarse):
+            _assert_identical(a.circuit, b.circuit)
+
+    def test_process_mode_server_round_trip(self):
+        batch = [quantum_phase_estimation(3) for _ in range(3)]
+        reference = transpile(
+            [c.copy() for c in batch],
+            target="melbourne",
+            pipeline="rpo",
+            seed=[0, 1, 2],
+            executor="serial",
+        )
+        with CompileServer(
+            mode="process", pipeline="rpo", max_workers=2
+        ) as srv:
+            srv.start()
+            with RemoteCompileService(srv.endpoint) as client:
+                results = client.map(
+                    [c.copy() for c in batch],
+                    targets="melbourne",
+                    seeds=[0, 1, 2],
+                    pipeline="rpo",
+                )
+        for expected, result in zip(reference, results):
+            _assert_identical(expected, result.circuit)
+
+
+class TestRemoteFailureModes:
+    def test_bad_pipeline_raises_per_job(self, remote):
+        with pytest.raises(TranspilerError, match="warpdrive"):
+            remote.map(
+                [QuantumCircuit(2)], targets="linear:2", pipeline="warpdrive"
+            )
+
+    def test_bad_job_does_not_poison_chunk_mates(self, remote):
+        good = quantum_phase_estimation(3)
+        futures = [
+            remote.submit(good.copy(), target="melbourne", pipeline="rpo", seed=0),
+            remote.submit(good.copy(), target="melbourne", pipeline="warpdrive"),
+        ]
+        assert futures[0].result().circuit.count_ops()
+        with pytest.raises(TranspilerError, match="warpdrive"):
+            futures[1].result()
+
+    def test_unreachable_endpoint(self):
+        with RemoteCompileService("http://127.0.0.1:9", timeout=2.0) as client:
+            with pytest.raises(TranspilerError, match="cannot reach"):
+                client.map([QuantumCircuit(1)])
+
+    def test_empty_batch_is_empty_answer_without_requests(self, remote):
+        before = remote._requests
+        assert remote.map([]) == []
+        assert remote._requests == before
+        assert transpile([], executor="remote", endpoint=remote.endpoint) == []
+
+    def test_closed_client_rejects_work(self, server):
+        client = RemoteCompileService(server.endpoint)
+        client.close()
+        with pytest.raises(TranspilerError, match="closed"):
+            client.map([QuantumCircuit(1)])
+
+    def test_remote_executor_without_endpoint(self):
+        with pytest.raises(TranspilerError, match="endpoint"):
+            transpile([QuantumCircuit(1)], executor="remote")
+
+    def test_endpoint_without_remote_executor(self, server):
+        with pytest.raises(TranspilerError, match="remote"):
+            transpile(
+                [QuantumCircuit(1)], executor="serial", endpoint=server.endpoint
+            )
+
+    def test_http_404_surfaces_as_protocol_error(self, remote):
+        with pytest.raises(ProtocolError, match="404"):
+            remote._post("/no-such-route", b"whatever")
+
+
+class TestIntrospection:
+    def test_healthz(self, remote):
+        health = remote.healthz()
+        assert health["status"] == "ok"
+        assert health["uptime"] >= 0
+
+    def test_metrics_counts_jobs_by_target(self, remote):
+        remote.map(
+            [quantum_phase_estimation(3)],
+            targets="melbourne",
+            seeds=[0],
+            pipeline="rpo",
+        )
+        stats = remote.stats()
+        assert stats["server"]["jobs"] >= 1
+        assert stats["server"]["jobs_by_target"].get("fake_melbourne", 0) >= 1
+        assert stats["service"]["completed"] >= 1
+        assert stats["client"]["requests"] >= 1
+
+
+class TestShardRouter:
+    def test_targets_stick_to_their_shard(self):
+        batch = [quantum_phase_estimation(3) for _ in range(6)]
+        targets = ["melbourne" if i % 2 == 0 else "linear:8" for i in range(6)]
+        seeds = list(range(6))
+        reference = transpile(
+            [c.copy() for c in batch],
+            target=targets,
+            pipeline="rpo",
+            seed=seeds,
+            executor="serial",
+        )
+        with CompileServer(mode="serial", pipeline="rpo") as s1, CompileServer(
+            mode="serial", pipeline="rpo"
+        ) as s2:
+            s1.start()
+            s2.start()
+            with ShardRouter([s1.endpoint, s2.endpoint]) as router:
+                results = router.map(
+                    [c.copy() for c in batch],
+                    targets=targets,
+                    seeds=seeds,
+                    pipeline="rpo",
+                )
+                stats = router.stats()
+        for expected, result in zip(reference, results):
+            _assert_identical(expected, result.circuit)
+        # target affinity: each target's jobs all landed on one shard
+        melbourne_shards = {
+            r.properties["shard"]
+            for r, t in zip(results, targets)
+            if t == "melbourne"
+        }
+        linear_shards = {
+            r.properties["shard"] for r, t in zip(results, targets) if t == "linear:8"
+        }
+        assert len(melbourne_shards) == 1
+        assert len(linear_shards) == 1
+        # two targets, two shards: the load balancer spread them out
+        assert melbourne_shards != linear_shards
+        assert len(stats["affinity"]) == 2
+        assert sum(stats["jobs_routed"].values()) == 6
+
+    def test_transpile_remote_executor_with_endpoint_list(self):
+        batch = [quantum_phase_estimation(3) for _ in range(4)]
+        reference = transpile(
+            [c.copy() for c in batch],
+            target="melbourne",
+            pipeline="rpo",
+            seed=[0, 1, 2, 3],
+            executor="serial",
+        )
+        with CompileServer(mode="serial", pipeline="rpo") as s1, CompileServer(
+            mode="serial", pipeline="rpo"
+        ) as s2:
+            s1.start()
+            s2.start()
+            results = transpile(
+                [c.copy() for c in batch],
+                target="melbourne",
+                pipeline="rpo",
+                seed=[0, 1, 2, 3],
+                executor="remote",
+                endpoint=[s1.endpoint, s2.endpoint],
+                full_result=True,
+            )
+            report = aggregate_batch(results, executor="remote")
+        for expected, result in zip(reference, results):
+            _assert_identical(expected, result.circuit)
+        # one target: affinity pins the whole batch to a single shard,
+        # and the metrics report says which
+        (label,) = report["by_target"]
+        shards = report["by_target"][label]["shards"]
+        assert len(shards) == 1 and sum(shards.values()) == 4
+        assert sum(e["num_circuits"] for e in report["by_shard"].values()) == 4
+        for entry in report["by_shard"].values():
+            assert entry["time"]["total"] >= 0.0
+
+    def test_submit_routes_by_affinity(self):
+        with CompileServer(mode="serial", pipeline="rpo") as s1, CompileServer(
+            mode="serial", pipeline="rpo"
+        ) as s2:
+            s1.start()
+            s2.start()
+            with ShardRouter([s1.endpoint, s2.endpoint]) as router:
+                futures = [
+                    router.submit(
+                        quantum_phase_estimation(3),
+                        target="melbourne",
+                        pipeline="rpo",
+                        seed=s,
+                    )
+                    for s in range(3)
+                ]
+                shards = {f.result().properties["shard"] for f in futures}
+        assert len(shards) == 1  # same target -> same shard, every time
+
+    def test_router_needs_shards(self):
+        with pytest.raises(TranspilerError, match="at least one"):
+            ShardRouter([])
+
+
+class TestServerLifecycle:
+    def test_server_snapshot_autosave_warm_restart(self, tmp_path):
+        """The crash-safe loop: a server autosaves its cache, dies without
+        a clean shutdown, and its successor boots warm from the autosave."""
+        import os
+        import time
+
+        path = tmp_path / "server.snap"
+        with CompileServer(
+            mode="serial",
+            pipeline="rpo",
+            snapshot_path=str(path),
+            autosave_interval=0.1,
+        ) as srv:
+            srv.start()
+            with RemoteCompileService(srv.endpoint) as client:
+                client.map(
+                    [quantum_phase_estimation(3)],
+                    targets="melbourne",
+                    seeds=[0],
+                    pipeline="rpo",
+                )
+            deadline = time.time() + 10
+            while not os.path.exists(path) and time.time() < deadline:
+                time.sleep(0.05)
+            assert os.path.exists(path)  # written by the timer, pre-shutdown
+            assert srv.service.stats()["autosaves"] >= 1
+            # simulate a crash: no service shutdown, no final save
+            srv.service.shutdown = lambda *a, **k: None
+
+        with CompileServer(
+            mode="serial", pipeline="rpo", snapshot_path=str(path)
+        ) as reborn:
+            assert reborn.service.stats()["snapshot_entries_loaded"] > 0
+
+    def test_shutdown_route_stops_server(self):
+        srv = CompileServer(mode="serial", pipeline="rpo")
+        srv.start()
+        with RemoteCompileService(srv.endpoint) as client:
+            ack = client.shutdown_server()
+        assert ack["status"] == "shutting down"
+        deadline = __import__("time").time() + 10
+        while not srv._shutdown and __import__("time").time() < deadline:
+            __import__("time").sleep(0.05)
+        assert srv._shutdown
+
+    def test_owned_service_shuts_down_with_server(self):
+        srv = CompileServer(mode="serial", pipeline="level1")
+        srv.start()
+        srv.shutdown()
+        with pytest.raises(TranspilerError, match="shut down"):
+            srv.service.submit(QuantumCircuit(1))
+
+    def test_server_rejects_service_plus_kwargs(self):
+        from repro.transpiler import CompileService
+
+        with CompileService(mode="serial") as service:
+            with pytest.raises(TranspilerError, match="not both"):
+                CompileServer(service, pipeline="rpo")

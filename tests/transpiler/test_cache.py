@@ -209,22 +209,34 @@ class TestWarmStartSnapshots:
         target.import_snapshot(source.export_snapshot())
         assert target.matrix(U1Gate(0.5)) is local
 
-    def test_format_version_mismatch_is_silent_noop(self):
+    def test_format_version_mismatch_warns_and_skips(self):
         cache = AnalysisCache()
-        assert cache.import_snapshot({"version": 99}) == 0
+        with pytest.warns(RuntimeWarning, match="format version"):
+            assert cache.import_snapshot({"version": 99}) == 0
         assert not cache._matrices
         assert cache.stats["snapshot_rejected"] == 1
+        assert "99" in cache.snapshot_skipped
 
-    def test_library_version_mismatch_is_silent_noop(self):
+    def test_library_version_mismatch_warns_with_both_fingerprints(self):
         """Regression test: a snapshot written by a different library
-        version must be quietly ignored, not raise."""
+        version must be ignored without raising -- but the rejection must
+        be observable (warning naming both fingerprints + skipped flag),
+        so operators can tell why warm-start did not kick in."""
+        from repro.transpiler.cache import library_fingerprint
+
         source = self._warm_cache()
         snapshot = source.export_snapshot()
         snapshot["library"] = "repro-0.0.0-from-the-future/snapshot-1"
         cache = AnalysisCache()
-        assert cache.import_snapshot(snapshot) == 0
+        assert cache.snapshot_skipped is None
+        with pytest.warns(RuntimeWarning) as caught:
+            assert cache.import_snapshot(snapshot) == 0
+        message = str(caught[0].message)
+        assert "repro-0.0.0-from-the-future/snapshot-1" in message
+        assert library_fingerprint() in message
         assert not cache._matrices
         assert cache.stats["snapshot_rejected"] == 1
+        assert "repro-0.0.0-from-the-future" in cache.snapshot_skipped
 
     def test_matching_library_stamp_is_accepted(self):
         from repro.transpiler.cache import library_fingerprint
@@ -234,10 +246,12 @@ class TestWarmStartSnapshots:
         cache = AnalysisCache()
         assert cache.import_snapshot(snapshot) > 0
 
-    def test_garbage_snapshot_is_silent_noop(self):
+    def test_garbage_snapshot_is_nonfatal_noop(self):
         cache = AnalysisCache()
-        assert cache.import_snapshot("not a snapshot") == 0
-        assert cache.import_snapshot({}) == 0
+        with pytest.warns(RuntimeWarning):
+            assert cache.import_snapshot("not a snapshot") == 0
+        with pytest.warns(RuntimeWarning):
+            assert cache.import_snapshot({}) == 0
 
 
 class TestDiskSnapshots:
@@ -262,19 +276,28 @@ class TestDiskSnapshots:
         assert loaded.stats["matrix_hits"] == 1
 
     def test_load_missing_file_is_silent(self, tmp_path):
-        cache = AnalysisCache()
-        assert cache.load_snapshot(tmp_path / "nope.snap") == 0
-        assert not cache._matrices
+        """First boot: no snapshot file yet is expected, not warn-worthy."""
+        import warnings as warnings_module
 
-    def test_load_corrupt_file_is_silent(self, tmp_path):
+        cache = AnalysisCache()
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert cache.load_snapshot(tmp_path / "nope.snap") == 0
+        assert not cache._matrices
+        assert cache.snapshot_skipped is None
+
+    def test_load_corrupt_file_warns(self, tmp_path):
         path = tmp_path / "corrupt.snap"
         path.write_bytes(b"this is not a pickle")
-        assert AnalysisCache().load_snapshot(path) == 0
+        cache = AnalysisCache()
+        with pytest.warns(RuntimeWarning, match="could not read"):
+            assert cache.load_snapshot(path) == 0
+        assert cache.snapshot_skipped is not None
 
-    def test_load_other_library_version_is_silent(self, tmp_path):
+    def test_load_other_library_version_warns(self, tmp_path):
         """Regression test for the persisted flavour of the version
         tolerance: a disk snapshot from another library version must leave
-        the cache cold without raising."""
+        the cache cold without raising, and say so."""
         import pickle
 
         source = self._warm_cache()
@@ -285,7 +308,8 @@ class TestDiskSnapshots:
         snapshot["library"] = "repro-9.9.9/snapshot-1"
         with open(path, "wb") as handle:
             pickle.dump(snapshot, handle)
-        loaded = AnalysisCache.load(path)
+        with pytest.warns(RuntimeWarning, match="repro-9.9.9"):
+            loaded = AnalysisCache.load(path)
         assert not loaded._matrices
         assert loaded.stats["snapshot_rejected"] == 1
 

@@ -292,3 +292,44 @@ class TestExecutorSelection:
         monkeypatch.setattr("os.cpu_count", lambda: 1)
         batch = [QuantumCircuit(_PROCESS_MIN_WIDTH)] * _PROCESS_MIN_BATCH
         assert _choose_executor(batch, "auto") == "thread"
+
+
+class TestEmptyBatch:
+    """Regression tests: transpile([]) is a valid request whose answer is
+    an empty list (and a well-formed zeroed metrics report), on every
+    executor path -- nothing may reach a pool, a service or the network."""
+
+    @pytest.mark.parametrize(
+        "executor", ["auto", "serial", "thread", "process", "service"]
+    )
+    def test_empty_batch_returns_empty_list(self, executor):
+        assert transpile([], executor=executor) == []
+        assert transpile([], executor=executor, full_result=True) == []
+
+    def test_empty_batch_through_persistent_service(self):
+        from repro.transpiler import CompileService
+
+        with CompileService(mode="serial") as service:
+            assert transpile([], service=service) == []
+            assert service.map([]) == []
+            assert service.stats()["submitted"] == 0
+
+    def test_empty_batch_still_validates_executor(self):
+        with pytest.raises(TranspilerError, match="executor"):
+            transpile([], executor="rocket")
+
+    def test_empty_batch_metrics_report_is_zeroed(self):
+        from repro.transpiler import aggregate_batch
+
+        report = aggregate_batch([], executor="serial")
+        assert report["num_circuits"] == 0
+        assert report["time"] == {
+            "mean": 0.0, "median": 0.0, "min": 0.0, "max": 0.0, "total": 0.0,
+        }
+        assert report["gates"]["cx"]["total"] == 0.0
+        assert report["by_target"] == {}
+        assert report["by_shard"] == {}
+        assert report["loops"] == {"count": 0, "iterations": 0, "converged": 0}
+        import json
+
+        json.dumps(report)  # must stay JSON-serializable

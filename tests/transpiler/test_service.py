@@ -292,6 +292,200 @@ class TestCacheHarvesting:
         assert results[1].circuit.num_qubits == 8
 
 
+class TestChunkedDispatch:
+    """Chunked job envelopes: several jobs per pool task, same answers."""
+
+    def _batch(self, n=12):
+        return [ry_ansatz(3, depth=2, seed=s) for s in range(n)]
+
+    def test_chunked_map_matches_per_job_dispatch(self, melbourne):
+        batch = self._batch()
+        seeds = list(range(len(batch)))
+        with CompileService(mode="serial", pipeline="level1") as service:
+            reference = service.map(
+                [c.copy() for c in batch], targets=melbourne.target(), seeds=seeds
+            )
+        with CompileService(
+            mode="process", pipeline="level1", max_workers=2
+        ) as service:
+            chunked = service.map(
+                [c.copy() for c in batch],
+                targets=melbourne.target(),
+                seeds=seeds,
+                chunk_size=4,
+            )
+            stats = service.stats()
+        assert stats["chunks"] == 3  # 12 jobs / 4 per chunk
+        assert stats["submitted"] == stats["completed"] == len(batch)
+        for expected, result in zip(reference, chunked):
+            _assert_identical(expected.circuit, result.circuit)
+
+    def test_auto_chunking_kicks_in_for_large_batches(self, melbourne):
+        batch = self._batch(24)
+        with CompileService(
+            mode="process", pipeline="level1", max_workers=2
+        ) as service:
+            service.map(
+                [c.copy() for c in batch],
+                targets=melbourne.target(),
+                seeds=list(range(len(batch))),
+            )
+            stats = service.stats()
+        # auto policy: fewer pool tasks than jobs (chunks amortized)
+        assert stats["chunks"] < len(batch)
+        assert stats["completed"] == len(batch)
+
+    def test_chunk_size_policy_bounds(self):
+        service = CompileService(mode="process", max_workers=2)
+        try:
+            assert service.chunk_size_for(2) == 1  # pool absorbs it per-job
+            assert service.chunk_size_for(200) >= 2
+            assert service.chunk_size_for(100_000) <= 64
+        finally:
+            service.shutdown(save=False)
+        serial = CompileService(mode="serial")
+        assert serial.chunk_size_for(1000) == 1  # nothing to amortize
+        serial.shutdown(save=False)
+
+    def test_bad_job_fails_alone_inside_chunk(self, melbourne):
+        """Regression guard for per-job error isolation: one unknown
+        pipeline inside a chunk must fail only its own future."""
+        batch = self._batch(4)
+        with CompileService(
+            mode="process", pipeline="level1", max_workers=2
+        ) as service:
+            resolved = [
+                service._resolve(
+                    c,
+                    melbourne.target(),
+                    {
+                        "pipeline": None,
+                        "optimization_level": None,
+                        "seed": i,
+                        "initial_layout": None,
+                    },
+                )
+                for i, c in enumerate(batch)
+            ]
+            jobs = [
+                (c, target, dict(settings))
+                for c, (target, settings) in zip(batch, resolved)
+            ]
+            jobs[1][2]["pipeline"] = "warpdrive"
+            futures = service._submit_chunk(jobs)
+            for index, future in enumerate(futures):
+                if index == 1:
+                    with pytest.raises(TranspilerError, match="warpdrive"):
+                        future.result()
+                else:
+                    assert future.result().circuit.count_ops()
+            assert service.stats()["failed"] == 1
+            assert service.stats()["completed"] == 3
+
+    def test_submit_payloads_round_trip(self, melbourne):
+        """The compile server's entry point: wire-form jobs in, identical
+        results out, on both the process and serial paths."""
+        from repro.circuit.serialization import circuit_to_payload
+
+        circuit = quantum_phase_estimation(3)
+        target = melbourne.target()
+        job = (
+            circuit_to_payload(circuit),
+            target.to_payload(),
+            {
+                "pipeline": "rpo",
+                "optimization_level": None,
+                "seed": 0,
+                "initial_layout": None,
+            },
+        )
+        reference = transpile(
+            circuit.copy(), backend=melbourne, pipeline="rpo", seed=0
+        )
+        for mode in ("serial", "process"):
+            with CompileService(mode=mode, max_workers=2) as service:
+                (future,) = service.submit_payloads([job])
+                result = future.result()
+            _assert_identical(reference, result.circuit)
+            assert result.properties["target"] == target
+        with CompileService(mode="serial") as service:
+            assert service.submit_payloads([]) == []
+
+
+class TestAutosave:
+    def test_periodic_autosave_writes_snapshot_before_shutdown(
+        self, tmp_path, melbourne
+    ):
+        import os
+        import time
+
+        path = tmp_path / "autosave.snap"
+        service = CompileService(
+            mode="serial",
+            pipeline="level1",
+            snapshot_path=path,
+            autosave_interval=0.1,
+        )
+        service.map(
+            [quantum_phase_estimation(3)], targets=melbourne.target(), seeds=[0]
+        )
+        deadline = time.time() + 10
+        while not os.path.exists(path) and time.time() < deadline:
+            time.sleep(0.05)
+        assert os.path.exists(path)
+        assert service.stats()["autosaves"] >= 1
+        # the autosaved snapshot is already warm (not just an empty stamp)
+        assert AnalysisCache.load(path)._matrices
+        service.shutdown(save=False)
+
+    def test_autosave_timer_stops_at_shutdown(self, tmp_path):
+        service = CompileService(
+            mode="serial", snapshot_path=tmp_path / "s.snap", autosave_interval=60.0
+        )
+        timer = service._autosave_timer
+        assert timer is not None
+        service.shutdown()
+        assert service._autosave_timer is None
+        assert not timer.is_alive()
+
+    def test_no_autosave_without_snapshot_path(self):
+        service = CompileService(mode="serial", autosave_interval=0.1)
+        assert service._autosave_timer is None
+        service.shutdown()
+
+    def test_harvest_now_flushes_throttled_worker_deltas(self, melbourne):
+        """The remote-safe harvest: worker-held deltas reach the parent
+        cache while the pool keeps serving (no shutdown required)."""
+        cache = AnalysisCache()
+        with CompileService(
+            mode="process",
+            pipeline="level1",
+            analysis_cache=cache,
+            max_workers=2,
+            harvest_interval=3600.0,
+        ) as service:
+            service.map(
+                [quantum_phase_estimation(3) for _ in range(3)],
+                targets=melbourne.target(),
+                seeds=[0, 1, 2],
+            )
+            assert service.stats()["harvests"] == 0
+            assert service.harvest_now() > 0
+            assert len(cache._matrices) > 0
+            # pool still serves after the live harvest
+            result = service.submit(
+                quantum_phase_estimation(3), target=melbourne.target(), seed=3
+            ).result()
+            assert result.circuit.count_ops()
+
+    def test_harvest_now_is_noop_when_unthrottled(self, melbourne):
+        with CompileService(mode="serial", pipeline="level1") as service:
+            service.map(
+                [quantum_phase_estimation(3)], targets=melbourne.target(), seeds=[0]
+            )
+            assert service.harvest_now() == 0
+
+
 class TestSnapshotPersistence:
     """Disk-backed snapshots: warm-start must survive a 'restart'."""
 
