@@ -20,9 +20,14 @@ With ``--server REPORT.json`` (the report written by
 path**: loopback-remote chunked throughput must stay within
 ``--server-wire-tolerance`` (default 1.0, i.e. within 2x) of the
 in-process service, and chunked dispatch must beat
-one-request-per-circuit.  Either report flag may be used without the
-positional table report (the server-smoke CI job gates on the server
-report alone).
+one-request-per-circuit.
+
+With ``--kernels REPORT.json`` (the report written by
+``bench_kernels.py --metrics-json``) the gate checks the **batched
+numeric kernels**: stacked-operand block consolidation must beat the
+per-block serial path by at least ``--kernels-min-speedup`` (default
+1.5x).  Any report flag may be used without the positional table report
+(the server-smoke CI job gates on the server report alone).
 
 Refreshing the baseline after an intentional change::
 
@@ -112,6 +117,36 @@ def check_server_throughput(report: dict, wire_tolerance: float) -> list[str]:
     return failures
 
 
+def check_kernel_speedup(report: dict, min_speedup: float) -> list[str]:
+    """Batched-kernel gate over a ``bench_kernels.py`` metrics report.
+
+    The batched block-consolidation stage (all block unitaries in one
+    stacked reduction) must beat the serial per-block accumulation by at
+    least ``min_speedup``; the 1q-run stage must at least not be slower.
+    """
+    failures: list[str] = []
+    kernels = report.get("kernels", {})
+    consolidation = kernels.get("consolidation", {})
+    speedup = consolidation.get("speedup")
+    if speedup is None:
+        return [
+            "kernels report lacks the consolidation speedup; run "
+            "bench_kernels.py with --metrics-json"
+        ]
+    if speedup < min_speedup:
+        failures.append(
+            f"batched block consolidation speedup {speedup:.2f}x fell below "
+            f"the required {min_speedup:.2f}x"
+        )
+    runs1q = kernels.get("runs1q", {}).get("speedup")
+    if runs1q is not None and runs1q < 1.0:
+        failures.append(
+            f"batched 1q-run merging ({runs1q:.2f}x) is slower than the "
+            f"serial path"
+        )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -166,9 +201,24 @@ def main(argv=None):
         help="allowed loopback-remote wall-clock excess over the in-process "
         "service (default 1.0 = within 2x)",
     )
+    parser.add_argument(
+        "--kernels",
+        metavar="PATH",
+        help="bench_kernels.py metrics report; enables the batched-kernel "
+        "speedup gate",
+    )
+    parser.add_argument(
+        "--kernels-min-speedup",
+        type=float,
+        default=1.5,
+        help="required batched-vs-serial block consolidation speedup "
+        "(default 1.5)",
+    )
     args = parser.parse_args(argv)
-    if args.current is None and not (args.executors or args.server):
-        parser.error("need a metrics report (positional) or --executors/--server")
+    if args.current is None and not (args.executors or args.server or args.kernels):
+        parser.error(
+            "need a metrics report (positional) or --executors/--server/--kernels"
+        )
 
     failures: list[str] = []
     rows = 0
@@ -190,6 +240,10 @@ def main(argv=None):
         failures += check_server_throughput(
             load_metrics_json(args.server), args.server_wire_tolerance
         )
+    if args.kernels:
+        failures += check_kernel_speedup(
+            load_metrics_json(args.kernels), args.kernels_min_speedup
+        )
     if failures:
         print(f"REGRESSIONS vs {args.baseline}:")
         for failure in failures:
@@ -200,6 +254,8 @@ def main(argv=None):
         checked += " (+ service throughput)"
     if args.server:
         checked += " (+ server loopback throughput)"
+    if args.kernels:
+        checked += " (+ batched-kernel speedup)"
     print(
         f"regression gate passed: {rows} rows within tolerance of baseline"
         f"{checked}"

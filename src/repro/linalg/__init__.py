@@ -8,7 +8,11 @@ reason about unitaries as matrices:
 * :mod:`repro.linalg.weyl` -- two-qubit Weyl (KAK) decomposition,
 * :mod:`repro.linalg.kron` -- tensor-product factorisation,
 * :mod:`repro.linalg.state_prep` -- pure-state preparation synthesis,
-* :mod:`repro.linalg.random` -- seeded random unitaries and states.
+* :mod:`repro.linalg.random` -- seeded random unitaries and states,
+* :mod:`repro.linalg.batch` -- batched kernels over stacked operands
+  (``N x 2 x 2`` / ``N x 4 x 4`` arrays),
+* :mod:`repro.linalg.backend` -- the pluggable array backend the batched
+  kernels dispatch through (NumPy default, optional CuPy).
 
 Circuit-emitting synthesis routines (which need the circuit IR) live in
 :mod:`repro.linalg.two_qubit_synthesis` and
@@ -36,6 +40,22 @@ from repro.linalg.state_prep import (
     two_qubit_state_prep_factors,
 )
 from repro.linalg.random import random_unitary, random_statevector, random_su2
+from repro.linalg.backend import backend_name, get_backend, set_backend
+from repro.linalg.batch import (
+    chain_products,
+    embed_1q_in_2q,
+    euler_zyz_angles_batch,
+    is_identity_up_to_phase_batch,
+    fold_matmul,
+    is_unitary_batch,
+    kron_batch,
+    permute_2q,
+    reduce_matmul,
+    stack_chains,
+    two_qubit_chain_unitaries,
+    u3_params_batch,
+    weyl_coordinates_batch,
+)
 
 __all__ = [
     "is_unitary",
@@ -59,4 +79,20 @@ __all__ = [
     "random_unitary",
     "random_statevector",
     "random_su2",
+    "backend_name",
+    "get_backend",
+    "set_backend",
+    "chain_products",
+    "embed_1q_in_2q",
+    "euler_zyz_angles_batch",
+    "is_identity_up_to_phase_batch",
+    "fold_matmul",
+    "is_unitary_batch",
+    "kron_batch",
+    "permute_2q",
+    "reduce_matmul",
+    "stack_chains",
+    "two_qubit_chain_unitaries",
+    "u3_params_batch",
+    "weyl_coordinates_batch",
 ]

@@ -1,0 +1,127 @@
+"""Pluggable dense-array backend for the batched numeric kernels.
+
+The batched kernels in :mod:`repro.linalg.batch` are written against the
+NumPy array API subset that CuPy implements verbatim (``matmul`` over
+stacked operands, ``einsum``, fancy indexing, ``linalg.eigvals``), so the
+same code runs on the CPU or on a GPU -- the only difference is which
+module provides the arrays.  This module owns that choice:
+
+* the default backend is **NumPy**;
+* ``REPRO_ARRAY_BACKEND=cupy`` (read once, lazily) or an explicit
+  :func:`set_backend` call selects **CuPy**;
+* a CuPy request on a machine without a working CuPy install is a
+  **non-fatal fallback**: a :class:`RuntimeWarning` explains the
+  downgrade, :attr:`ArrayBackend.fallback_reason` records it, and the
+  NumPy backend is used -- mirroring how the analysis cache treats
+  unusable snapshots.  NumPy-only environments therefore never need CuPy
+  installed to pass the full suite.
+
+Kernels fetch the active backend per call (:func:`get_backend`), convert
+inputs with :meth:`ArrayBackend.asarray` and convert results back with
+:meth:`ArrayBackend.to_numpy`, so callers always see plain NumPy arrays
+regardless of where the arithmetic ran.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "available_backends",
+    "backend_name",
+    "get_backend",
+    "set_backend",
+]
+
+#: Environment variable consulted (once, at first use) for the default.
+BACKEND_ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+_KNOWN_BACKENDS = ("numpy", "cupy")
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayBackend:
+    """A namespace bundling an array module with transfer helpers.
+
+    Attributes:
+        name: canonical backend name (``"numpy"`` or ``"cupy"``).
+        xp: the array module itself (``numpy`` or ``cupy``).
+        fallback_reason: why a requested backend was downgraded to NumPy
+            (``None`` when the requested backend is the one running).
+    """
+
+    name: str
+    xp: Any
+    fallback_reason: str | None = None
+
+    def asarray(self, array, dtype=None):
+        """``array`` as a device array of the backend."""
+        return self.xp.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """``array`` back as a host NumPy array (no copy when already one)."""
+        if isinstance(array, np.ndarray):
+            return array
+        get = getattr(array, "get", None)  # CuPy device -> host transfer
+        if get is not None:
+            return get()
+        return np.asarray(array)
+
+
+_NUMPY_BACKEND = ArrayBackend(name="numpy", xp=np)
+
+#: The active backend; ``None`` until first resolved (env var or setter).
+_ACTIVE: ArrayBackend | None = None
+
+
+def _resolve(name: str) -> ArrayBackend:
+    """Build the backend for ``name``, downgrading to NumPy when needed."""
+    normalized = name.strip().lower()
+    if normalized in ("", "numpy"):
+        return _NUMPY_BACKEND
+    if normalized not in _KNOWN_BACKENDS:
+        reason = f"unknown array backend {name!r} (known: {_KNOWN_BACKENDS})"
+        warnings.warn(f"{reason}; falling back to NumPy", RuntimeWarning, stacklevel=3)
+        return dataclasses.replace(_NUMPY_BACKEND, fallback_reason=reason)
+    try:
+        import cupy  # noqa: PLC0415 - optional dependency, imported on demand
+
+        # a broken CUDA install can import but fail on first allocation
+        cupy.asarray(np.zeros(1))
+    except Exception as exc:  # pragma: no cover - depends on host GPU stack
+        reason = f"CuPy backend unavailable ({type(exc).__name__}: {exc})"
+        warnings.warn(f"{reason}; falling back to NumPy", RuntimeWarning, stacklevel=3)
+        return dataclasses.replace(_NUMPY_BACKEND, fallback_reason=reason)
+    return ArrayBackend(name="cupy", xp=cupy)  # pragma: no cover - needs GPU
+
+
+def get_backend() -> ArrayBackend:
+    """The active array backend (resolving ``REPRO_ARRAY_BACKEND`` lazily)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _resolve(os.environ.get(BACKEND_ENV_VAR, "numpy"))
+    return _ACTIVE
+
+
+def set_backend(name: str) -> ArrayBackend:
+    """Select the array backend by name; returns the backend that is
+    actually active (NumPy when the request had to fall back)."""
+    global _ACTIVE
+    _ACTIVE = _resolve(name)
+    return _ACTIVE
+
+
+def backend_name() -> str:
+    """Canonical name of the active backend (``"numpy"`` or ``"cupy"``)."""
+    return get_backend().name
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names this module knows how to resolve (not a promise they work)."""
+    return _KNOWN_BACKENDS

@@ -2,6 +2,8 @@
 
 * :mod:`repro.simulators.statevector` -- exact statevector evolution with
   mid-circuit measurement/reset support;
+* :mod:`repro.simulators.fusion` -- the gate-fusion pre-step that lowers
+  circuits into fused-matrix programs for the simulators;
 * :mod:`repro.simulators.unitary` -- full-circuit unitary extraction;
 * :mod:`repro.simulators.noise` -- device noise models (depolarizing gate
   errors + readout errors) built from backend calibration data;
@@ -10,6 +12,7 @@
 """
 
 from repro.simulators.statevector import StatevectorSimulator, simulate_statevector
+from repro.simulators.fusion import FusedProgram, compile_program
 from repro.simulators.unitary import circuit_unitary
 from repro.simulators.noise import NoiseModel
 from repro.simulators.noisy import NoisySimulator
@@ -19,6 +22,8 @@ from repro.simulators.counts import Counts, success_rate
 __all__ = [
     "StatevectorSimulator",
     "simulate_statevector",
+    "FusedProgram",
+    "compile_program",
     "circuit_unitary",
     "NoiseModel",
     "NoisySimulator",

@@ -9,6 +9,8 @@ for noise studies where sampling error matters.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.circuit.quantumcircuit import QuantumCircuit
@@ -22,6 +24,29 @@ _PAULIS = [
     np.array([[0, -1j], [1j, 0]], dtype=complex),
     np.array([[1, 0], [0, -1]], dtype=complex),
 ]
+
+#: Reset Kraus factors (shared, read-only): |0><0| projector and |0><1|.
+_PROJ_ZERO = np.array([[1, 0], [0, 0]], dtype=complex)
+_LOWER = np.array([[0, 1], [0, 0]], dtype=complex)
+
+
+@lru_cache(maxsize=4096)
+def _embedded_pauli(index: int, qargs: tuple[int, ...], num_qubits: int) -> np.ndarray:
+    """Full-register Pauli-string tensor, cached per ``(index, qargs, n)``.
+
+    The depolarizing channel hits the same handful of Pauli strings on
+    every noisy gate of a circuit (and again on every circuit of a sweep),
+    so the ``np.kron`` build + embedding happens once per distinct string
+    instead of once per application.  Returned arrays are read-only.
+    """
+    from repro.circuit.matrix_utils import embed_gate
+
+    pauli = np.array([[1.0]], dtype=complex)
+    for position in range(len(qargs) - 1, -1, -1):
+        pauli = np.kron(pauli, _PAULIS[(index >> (2 * position)) & 3])
+    full = embed_gate(pauli, qargs, num_qubits)
+    full.setflags(write=False)
+    return full
 
 
 class DensityMatrixSimulator:
@@ -89,20 +114,13 @@ class DensityMatrixSimulator:
         mixed = (1 - probability) * rho
         share = probability / count
         for index in range(1, 4**k):
-            # build the k-qubit Pauli (kron order: last arg = LSB)
-            pauli = np.array([[1.0]], dtype=complex)
-            for position in range(k - 1, -1, -1):
-                pauli = np.kron(pauli, _PAULIS[(index >> (2 * position)) & 3])
-            full = self._embed(pauli, qargs, num_qubits)
+            full = _embedded_pauli(index, tuple(qargs), num_qubits)
             mixed = mixed + share * (full @ rho @ full.conj().T)
         return mixed
 
     def _reset(self, rho, qubit, num_qubits):
-        zero = np.array([[1, 0], [0, 0]], dtype=complex)
-        one = np.array([[0, 0], [0, 1]], dtype=complex)
-        lower = np.array([[0, 1], [0, 0]], dtype=complex)  # |0><1|
-        p0 = self._embed(zero, (qubit,), num_qubits)
-        k1 = self._embed(lower, (qubit,), num_qubits)
+        p0 = self._embed(_PROJ_ZERO, (qubit,), num_qubits)
+        k1 = self._embed(_LOWER, (qubit,), num_qubits)
         return p0 @ rho @ p0.conj().T + k1 @ rho @ k1.conj().T
 
     def _measure_distribution(self, rho, measures, num_clbits, num_qubits):

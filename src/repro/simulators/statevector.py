@@ -1,8 +1,15 @@
 """Exact statevector simulation.
 
 States are little-endian: bit ``k`` of a basis index is circuit qubit ``k``.
-The simulator supports every gate in the library (through ``to_matrix``),
-plus measurement (with collapse), reset, and directives (skipped).
+The simulator supports every gate in the library, plus measurement (with
+collapse), reset, and directives (skipped).
+
+Circuits are lowered once per call through the gate-fusion pre-step
+(:func:`repro.simulators.fusion.compile_program`): adjacent gates on the
+same qubit (or qubit pair) collapse into single fused matrices and gate
+matrices resolve through the shared analysis cache's standard-gate table
+instead of one ``to_matrix()`` per instruction.  ``fusion=False`` keeps
+the one-step-per-gate program (matrices still come from the cache).
 """
 
 from __future__ import annotations
@@ -10,9 +17,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.gates.matrices import standard_gate_matrix
 from repro.linalg.random import as_rng
+from repro.simulators.fusion import FusedProgram, compile_program
+from repro.transpiler.cache import AnalysisCache
 
 __all__ = ["StatevectorSimulator", "simulate_statevector", "apply_gate_to_state"]
+
+#: Shared X matrix for the reset path (read-only, from the gate table).
+_X_MATRIX = standard_gate_matrix("x")
 
 
 def apply_gate_to_state(
@@ -48,17 +61,26 @@ class StatevectorSimulator:
 
     Measurements collapse the state and write classical bits; use
     :meth:`run` for a single trajectory or :meth:`statevector` for the
-    final state of a measurement-free circuit.
+    final state of a measurement-free circuit.  The gate-matrix cache
+    persists across calls, so repeated runs of structurally similar
+    circuits skip matrix construction entirely.
     """
 
-    def __init__(self, seed: int | np.random.Generator | None = None):
+    def __init__(
+        self,
+        seed: int | np.random.Generator | None = None,
+        fusion: bool = True,
+    ):
         self._rng = as_rng(seed)
+        self.fusion = fusion
+        self._cache = AnalysisCache()
 
     def statevector(
         self, circuit: QuantumCircuit, initial_state: np.ndarray | None = None
     ) -> np.ndarray:
         """Final statevector (measurement-free circuits only)."""
-        state, _ = self._evolve(circuit, initial_state, allow_measure=False)
+        program = compile_program(circuit, fuse=self.fusion, cache=self._cache)
+        state, _ = self._evolve(program, initial_state, allow_measure=False)
         return state
 
     def run(
@@ -71,13 +93,14 @@ class StatevectorSimulator:
 
         For circuits whose measurements are all terminal the sampling is done
         from the final distribution in one pass; otherwise each shot runs a
-        full collapsing trajectory.
+        full collapsing trajectory over the once-compiled fused program.
         """
         from repro.simulators.counts import Counts
 
+        program = compile_program(circuit, fuse=self.fusion, cache=self._cache)
         if self._measurements_are_terminal(circuit):
             state, measured = self._evolve(
-                circuit, initial_state, allow_measure=False, skip_measurements=True
+                program, initial_state, allow_measure=False, skip_measurements=True
             )
             if not measured:
                 raise ValueError("circuit contains no measurements to sample")
@@ -96,7 +119,7 @@ class StatevectorSimulator:
 
         counts = {}
         for _ in range(shots):
-            _, clbits = self._evolve(circuit, initial_state, allow_measure=True)
+            _, clbits = self._evolve(program, initial_state, allow_measure=True)
             key = format(clbits, f"0{circuit.num_clbits}b")
             counts[key] = counts.get(key, 0) + 1
         return Counts(counts, num_clbits=circuit.num_clbits)
@@ -116,12 +139,12 @@ class StatevectorSimulator:
 
     def _evolve(
         self,
-        circuit: QuantumCircuit,
+        program: FusedProgram,
         initial_state: np.ndarray | None,
         allow_measure: bool,
         skip_measurements: bool = False,
     ):
-        num_qubits = circuit.num_qubits
+        num_qubits = program.num_qubits
         if initial_state is None:
             state = np.zeros(2**num_qubits, dtype=complex)
             state[0] = 1.0
@@ -129,38 +152,29 @@ class StatevectorSimulator:
             state = np.asarray(initial_state, dtype=complex).copy()
             if state.shape != (2**num_qubits,):
                 raise ValueError("initial state has wrong dimension")
-        state *= np.exp(1j * circuit.global_phase)
+        state *= np.exp(1j * program.global_phase)
 
         clbits = 0
         measured: list[tuple[int, int]] = []
-        for instruction in circuit.data:
-            operation = instruction.operation
-            name = operation.name
-            if operation.is_directive:
+        for kind, first, second in program.steps:
+            if kind == "unitary":
+                state = apply_gate_to_state(state, first, second, num_qubits)
                 continue
-            if name == "measure":
+            if kind == "measure":
                 if skip_measurements:
-                    measured.append((instruction.qubits[0], instruction.clbits[0]))
+                    measured.append((first, second))
                     continue
                 if not allow_measure:
                     raise ValueError("circuit contains mid-circuit measurement")
-                outcome, state = self._measure(state, instruction.qubits[0], num_qubits)
-                clbit = instruction.clbits[0]
-                clbits = (clbits & ~(1 << clbit)) | (outcome << clbit)
+                outcome, state = self._measure(state, first, num_qubits)
+                clbits = (clbits & ~(1 << second)) | (outcome << second)
                 continue
-            if name == "reset":
-                outcome, state = self._measure(state, instruction.qubits[0], num_qubits)
+            if kind == "reset":
+                outcome, state = self._measure(state, first, num_qubits)
                 if outcome:
-                    x_matrix = np.array([[0, 1], [1, 0]], dtype=complex)
-                    state = apply_gate_to_state(
-                        state, x_matrix, instruction.qubits, num_qubits
-                    )
+                    state = apply_gate_to_state(state, _X_MATRIX, (first,), num_qubits)
                 continue
-            if not operation.is_gate():
-                raise ValueError(f"cannot simulate instruction {name!r}")
-            state = apply_gate_to_state(
-                state, operation.to_matrix(), instruction.qubits, num_qubits
-            )
+            raise ValueError(f"cannot simulate instruction {first.name!r}")
         return state, (measured if skip_measurements else clbits)
 
     def _measure(self, state: np.ndarray, qubit: int, num_qubits: int):

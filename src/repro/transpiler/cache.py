@@ -237,6 +237,32 @@ class AnalysisCache:
         _bounded_insert(self._matrices, key, matrix, _MAX_MATRICES)
         return matrix
 
+    def matrices(self, operations) -> list[np.ndarray]:
+        """Bulk memoized lookup: one matrix per operation, in order.
+
+        The batched passes (block consolidation, 1q-run merging, simulator
+        gate fusion) gather *all* their operand matrices up front before one
+        stacked reduction; this entry point keeps that gather cheap by
+        resolving repeats of the same gate within the request against a
+        local memo (one shared-cache probe per distinct gate instead of one
+        per occurrence).
+        """
+        local: dict = {}
+        out: list[np.ndarray] = []
+        for operation in operations:
+            key = _matrix_key(operation)
+            if key is None:
+                out.append(self.matrix(operation))
+                continue
+            hit = local.get(key)
+            if hit is None:
+                hit = self.matrix(operation)
+                local[key] = hit
+            else:
+                self.stats["matrix_hits"] += 1
+            out.append(hit)
+        return out
+
     @property
     def matrix_constructions(self) -> int:
         """Matrices actually built on behalf of callers (miss + uncached).

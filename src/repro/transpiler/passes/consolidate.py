@@ -9,6 +9,15 @@ reduces the two-qubit gate count.
 This is the pass the paper contrasts RPO against: it must preserve the
 block's *unitary*, so it can never exploit known input states the way
 QBO/QPO do.
+
+The pass runs in two phases: a linear scan collects every block of the
+circuit (recording the flush order), then **all** block unitaries are
+computed in one batched reduction (:func:`repro.linalg.batch.
+two_qubit_chain_unitaries` -- per-gate matrices stacked, 1q gates embedded
+via the batched kron, chains identity-padded and chain-multiplied with
+log-depth pairwise matmuls) before any synthesis happens.  ``batched=False``
+falls back to the original per-block Python accumulation; the two paths are
+held to identical outputs by the parity tests.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.quantumcircuit import CircuitInstruction, QuantumCircuit
+from repro.linalg.batch import two_qubit_chain_unitaries
 from repro.linalg.two_qubit_synthesis import synthesize_two_qubit_unitary
 from repro.transpiler.cache import AnalysisCache, rewrite_counter
 from repro.transpiler.passmanager import PropertySet, TransformationPass
@@ -46,14 +56,23 @@ class _Block:
             self.num_2q += 1
             self.cx_cost += _CX_COST.get(instruction.operation.name, 3)
 
+    def local_wires(self, instruction: CircuitInstruction) -> tuple[int, ...]:
+        """Block-local wires of one instruction (wire 0 = ``pair[0]``)."""
+        wire_of = {self.pair[0]: 0, self.pair[1]: 1}
+        return tuple(wire_of[q] for q in instruction.qubits)
+
     def matrix(self, cache: AnalysisCache) -> np.ndarray:
-        """4x4 unitary with local wire 0 = pair[0], wire 1 = pair[1]."""
+        """4x4 unitary with local wire 0 = pair[0], wire 1 = pair[1].
+
+        Serial reference path (one ``embed_gate`` + matmul per gate); the
+        batched pass computes the same product for every block at once via
+        :func:`two_qubit_chain_unitaries`.
+        """
         from repro.circuit.matrix_utils import embed_gate
 
-        wire_of = {self.pair[0]: 0, self.pair[1]: 1}
         matrix = np.eye(4, dtype=complex)
         for instruction in self.instructions:
-            local = tuple(wire_of[q] for q in instruction.qubits)
+            local = self.local_wires(instruction)
             matrix = embed_gate(cache.matrix(instruction.operation), local, 2) @ matrix
         return matrix
 
@@ -64,26 +83,36 @@ class ConsolidateBlocks(TransformationPass):
 
     preserves = ("is_swap_mapped",)
 
-    def __init__(self, force: bool = False):
+    def __init__(self, force: bool = False, batched: bool = True):
         # ``force`` re-synthesises even when the CNOT count does not drop
         # (useful in tests); the preset pipelines keep the default.
+        # ``batched=False`` restores the per-block matrix accumulation.
         self.force = force
+        self.batched = batched
 
-    def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        cache = AnalysisCache.ensure(property_set)
-        rewrites = rewrite_counter(property_set)
-        output = circuit.copy_empty_like()
+    def collect(
+        self, circuit: QuantumCircuit
+    ) -> list[tuple[str, object, tuple, tuple]]:
+        """Scan ``circuit`` into an ordered event list.
+
+        Events are ``("raw", operation, qubits, clbits)`` for pass-through
+        instructions and ``("block", block, (), ())`` for completed blocks,
+        in exactly the order the serial pass would have emitted them.
+        """
+        events: list[tuple[str, object, tuple, tuple]] = []
         pending_1q: dict[int, list[CircuitInstruction]] = {}
         block_of: dict[int, _Block] = {}
 
         def flush_pending(qubit: int) -> None:
             for instruction in pending_1q.pop(qubit, []):
-                output.append(instruction.operation, instruction.qubits, instruction.clbits)
+                events.append(
+                    ("raw", instruction.operation, instruction.qubits, instruction.clbits)
+                )
 
         def flush_block(block: _Block) -> None:
             for qubit in block.pair:
                 block_of.pop(qubit, None)
-            self._emit_block(block, output, cache, rewrites)
+            events.append(("block", block, (), ()))
 
         def flush_qubit(qubit: int) -> None:
             block = block_of.get(qubit)
@@ -126,7 +155,7 @@ class ConsolidateBlocks(TransformationPass):
             # anything else fences the touched qubits
             for qubit in qubits:
                 flush_qubit(qubit)
-            output.append(operation, qubits, instruction.clbits)
+            events.append(("raw", operation, qubits, instruction.clbits))
 
         remaining = []
         for block in block_of.values():
@@ -136,16 +165,69 @@ class ConsolidateBlocks(TransformationPass):
             flush_block(block)
         for qubit in sorted(pending_1q):
             flush_pending(qubit)
+        return events
+
+    def _block_matrices(
+        self, blocks: list[_Block], cache: AnalysisCache
+    ) -> dict[int, np.ndarray]:
+        """4x4 unitaries of every block, keyed by ``id(block)``.
+
+        Batched path: one bulk cache lookup gathers every gate matrix,
+        then every block reduces in a single stacked-operand call.
+        """
+        if not blocks:
+            return {}
+        if not self.batched:
+            return {id(block): block.matrix(cache) for block in blocks}
+        all_instructions = [
+            instruction for block in blocks for instruction in block.instructions
+        ]
+        matrices = cache.matrices(
+            instruction.operation for instruction in all_instructions
+        )
+        chains = []
+        cursor = 0
+        for block in blocks:
+            chain = []
+            for instruction in block.instructions:
+                chain.append((matrices[cursor], block.local_wires(instruction)))
+                cursor += 1
+            chains.append(chain)
+        unitaries = two_qubit_chain_unitaries(chains)
+        return {id(block): unitaries[index] for index, block in enumerate(blocks)}
+
+    def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        cache = AnalysisCache.ensure(property_set)
+        rewrites = rewrite_counter(property_set)
+        events = self.collect(circuit)
+        candidates = [
+            event[1]
+            for event in events
+            if event[0] == "block"
+            and (event[1].num_2q >= _BLOCK_MIN_2Q or self.force)
+        ]
+        unitaries = self._block_matrices(candidates, cache)
+
+        output = circuit.copy_empty_like()
+        for kind, payload, qubits, clbits in events:
+            if kind == "raw":
+                output.append(payload, qubits, clbits)
+            else:
+                self._emit_block(payload, output, unitaries.get(id(payload)), rewrites)
         return output
 
     def _emit_block(
-        self, block: _Block, output: QuantumCircuit, cache: AnalysisCache, rewrites
+        self,
+        block: _Block,
+        output: QuantumCircuit,
+        unitary: np.ndarray | None,
+        rewrites,
     ) -> None:
-        if block.num_2q < _BLOCK_MIN_2Q and not self.force:
+        if unitary is None:  # below the 2q-count threshold: not consolidated
             self._emit_original(block, output)
             return
         try:
-            replacement = synthesize_two_qubit_unitary(block.matrix(cache))
+            replacement = synthesize_two_qubit_unitary(unitary)
         except Exception:
             self._emit_original(block, output)
             return

@@ -7,6 +7,17 @@ gates, and again inside the fixed-point loop.
 
 Annotations act as fences: merging a gate across an ``ANNOT`` would move it
 relative to the point where the programmer's promise holds.
+
+The default implementation is batched: one scan collects every run of the
+circuit, all run products are computed in a single stacked reduction
+(:func:`repro.linalg.batch.chain_products`) and the Euler angles of every
+merged run come from one vectorized extraction
+(:func:`repro.linalg.batch.u3_params_batch`).  ``batched=False`` restores
+the original one-matmul-per-gate accumulation.  The run products are
+bit-identical between the two paths (sequential batched fold); the emitted
+angles may differ in the last ulp because vectorized ``arctan2`` rounds
+differently from libm's, so the parity tests pin structure exactly and
+angles to 1e-12.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ import math
 import numpy as np
 
 from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.linalg.batch import chain_products, u3_params_batch
 from repro.linalg.euler import u3_params_from_unitary
 from repro.transpiler.cache import AnalysisCache, rewrite_counter
 from repro.transpiler.passmanager import PropertySet, TransformationPass
@@ -31,7 +43,85 @@ class Optimize1qGates(TransformationPass):
 
     preserves = ("is_swap_mapped",)
 
+    def __init__(self, batched: bool = True):
+        self.batched = batched
+
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        if self.batched:
+            return self._transform_batched(circuit, property_set)
+        return self._transform_serial(circuit, property_set)
+
+    # -- batched path ------------------------------------------------------
+
+    def _transform_batched(
+        self, circuit: QuantumCircuit, property_set: PropertySet
+    ) -> QuantumCircuit:
+        cache = AnalysisCache.ensure(property_set)
+        rewrites = rewrite_counter(property_set)
+
+        # Phase 1: scan into an ordered event list; runs carry operations
+        # only (no matrix work happens during the scan).
+        events: list[tuple[str, object, tuple, tuple]] = []
+        runs: list[tuple[int, list]] = []  # (qubit, operations)
+        pending: dict[int, int] = {}  # qubit -> index into ``runs``
+
+        def flush(qubit: int) -> None:
+            run_index = pending.pop(qubit, None)
+            if run_index is not None:
+                events.append(("run", run_index, (), ()))
+
+        for instruction in circuit.data:
+            operation = instruction.operation
+            if (
+                operation.is_gate()
+                and operation.num_qubits == 1
+                and not operation.is_directive
+            ):
+                qubit = instruction.qubits[0]
+                run_index = pending.get(qubit)
+                if run_index is None:
+                    pending[qubit] = len(runs)
+                    runs.append((qubit, [operation]))
+                else:
+                    runs[run_index][1].append(operation)
+                continue
+            for qubit in instruction.qubits:
+                flush(qubit)
+            events.append(
+                ("raw", operation, instruction.qubits, instruction.clbits)
+            )
+        for qubit in sorted(pending):
+            flush(qubit)
+
+        # Phase 2: every run product in one stacked reduction, every Euler
+        # extraction in one vectorized call.
+        operations = [op for _, ops in runs for op in ops]
+        matrices = cache.matrices(operations)
+        chains: list[list[np.ndarray]] = []
+        cursor = 0
+        for _, ops in runs:
+            chains.append(matrices[cursor : cursor + len(ops)])
+            cursor += len(ops)
+        products = chain_products(chains, 2)
+        params = u3_params_batch(products) if len(runs) else np.empty((0, 4))
+
+        output = circuit.copy_empty_like()
+        for kind, payload, qubits, clbits in events:
+            if kind == "raw":
+                output.append(payload, qubits, clbits)
+                continue
+            run_qubit, ops = runs[payload]
+            if len(ops) > 1:
+                rewrites[self.name] += 1
+            theta, phi, lam, gamma = (float(value) for value in params[payload])
+            self._emit_params(theta, phi, lam, gamma, run_qubit, output)
+        return output
+
+    # -- serial reference path ---------------------------------------------
+
+    def _transform_serial(
+        self, circuit: QuantumCircuit, property_set: PropertySet
+    ) -> QuantumCircuit:
         cache = AnalysisCache.ensure(property_set)
         rewrites = rewrite_counter(property_set)
         output = circuit.copy_empty_like()
@@ -70,9 +160,18 @@ class Optimize1qGates(TransformationPass):
             flush(qubit)
         return output
 
-    @staticmethod
-    def _emit(matrix: np.ndarray, qubit: int, output: QuantumCircuit) -> None:
+    # -- shared emission ---------------------------------------------------
+
+    @classmethod
+    def _emit(cls, matrix: np.ndarray, qubit: int, output: QuantumCircuit) -> None:
         theta, phi, lam, gamma = u3_params_from_unitary(matrix)
+        cls._emit_params(theta, phi, lam, gamma, qubit, output)
+
+    @staticmethod
+    def _emit_params(
+        theta: float, phi: float, lam: float, gamma: float,
+        qubit: int, output: QuantumCircuit,
+    ) -> None:
         output.global_phase += gamma
         theta_n = normalize_angle(theta)
         if theta_n < _EPS or abs(theta_n - 2 * math.pi) < _EPS:

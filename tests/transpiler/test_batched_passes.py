@@ -1,0 +1,168 @@
+"""Serial-vs-batched parity for the rewired transpiler passes.
+
+``ConsolidateBlocks(batched=True)`` is held to **bit-identical** output
+against the serial reference path (the batched fold reduction reproduces
+the serial matmuls exactly, and the Weyl synthesis is deterministic given
+identical block matrices).  ``Optimize1qGates`` is held to identical
+structure with angles within ``1e-12`` (vectorized ``arctan2`` may round
+the last ulp differently from libm's -- see the pass docstring).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.transpiler.cache import AnalysisCache
+from repro.transpiler.passes import ConsolidateBlocks, Optimize1qGates
+from repro.transpiler.passmanager import PropertySet
+
+from tests.helpers import assert_unitarily_equal
+
+
+def random_circuit(
+    seed: int, num_qubits: int = 4, depth: int = 40, measures: bool = True
+) -> QuantumCircuit:
+    """A random mix of 1q/2q gates with barriers and (optional) fences."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, num_qubits)
+    for _ in range(depth):
+        roll = rng.random()
+        if roll < 0.30:
+            circuit.u3(
+                float(rng.uniform(0, np.pi)),
+                float(rng.uniform(-np.pi, np.pi)),
+                float(rng.uniform(-np.pi, np.pi)),
+                int(rng.integers(num_qubits)),
+            )
+        elif roll < 0.45:
+            gate = rng.choice(["h", "s", "t", "x", "z", "sx"])
+            getattr(circuit, gate)(int(rng.integers(num_qubits)))
+        elif roll < 0.55:
+            circuit.rz(float(rng.uniform(-np.pi, np.pi)), int(rng.integers(num_qubits)))
+        elif roll < 0.90:
+            a, b = (int(q) for q in rng.choice(num_qubits, size=2, replace=False))
+            gate = rng.choice(["cx", "cz", "swap", "iswap"])
+            getattr(circuit, gate)(a, b)
+        elif roll < 0.95:
+            circuit.barrier()
+        elif measures:
+            qubit = int(rng.integers(num_qubits))
+            circuit.measure(qubit, qubit)
+    return circuit
+
+
+def run_both(pass_factory, circuit):
+    batched = pass_factory(batched=True).run(circuit, PropertySet())
+    serial = pass_factory(batched=False).run(circuit, PropertySet())
+    return batched, serial
+
+
+def assert_bit_identical(a: QuantumCircuit, b: QuantumCircuit) -> None:
+    assert a.global_phase == b.global_phase
+    assert len(a.data) == len(b.data)
+    for left, right in zip(a.data, b.data):
+        assert left.operation.name == right.operation.name
+        assert left.qubits == right.qubits
+        assert left.clbits == right.clbits
+        assert list(left.operation.params) == list(right.operation.params)
+
+
+def assert_structure_and_angles(a: QuantumCircuit, b: QuantumCircuit) -> None:
+    assert abs(a.global_phase - b.global_phase) < 1e-12
+    assert len(a.data) == len(b.data)
+    for left, right in zip(a.data, b.data):
+        assert left.operation.name == right.operation.name
+        assert left.qubits == right.qubits
+        assert left.clbits == right.clbits
+        assert np.allclose(
+            list(left.operation.params), list(right.operation.params), atol=1e-12
+        )
+
+
+class TestConsolidateParity:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_bit_identical_on_random_circuits(self, seed):
+        circuit = random_circuit(seed)
+        batched, serial = run_both(
+            lambda batched: ConsolidateBlocks(batched=batched), circuit
+        )
+        assert_bit_identical(batched, serial)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_forced_resynthesis_parity(self, seed):
+        circuit = random_circuit(seed + 100, num_qubits=3, depth=30)
+        batched, serial = run_both(
+            lambda batched: ConsolidateBlocks(force=True, batched=batched), circuit
+        )
+        assert_bit_identical(batched, serial)
+
+    def test_batched_preserves_semantics(self):
+        circuit = random_circuit(7, measures=False)
+        out = ConsolidateBlocks(batched=True).run(circuit, PropertySet())
+        assert_unitarily_equal(circuit, out)
+
+    def test_empty_and_trivial_circuits(self):
+        for circuit in (QuantumCircuit(2), QuantumCircuit(1)):
+            batched, serial = run_both(
+                lambda batched: ConsolidateBlocks(batched=batched), circuit
+            )
+            assert_bit_identical(batched, serial)
+        single = QuantumCircuit(2)
+        single.cx(0, 1)
+        batched, serial = run_both(
+            lambda batched: ConsolidateBlocks(batched=batched), single
+        )
+        assert_bit_identical(batched, serial)
+
+    def test_bulk_matrix_lookup_hits_cache(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(6):
+            circuit.cx(0, 1)
+            circuit.h(0)
+        cache = AnalysisCache()
+        props = PropertySet({AnalysisCache.PROPERTY_KEY: cache})
+        ConsolidateBlocks(batched=True).run(circuit, props)
+        # 12 gate operands resolve to 2 distinct matrices: h from the
+        # standard table, cx (a ControlledGate) constructed exactly once
+        assert cache.matrix_requests >= 12
+        assert cache.matrix_constructions == 1
+
+
+class TestOptimize1qParity:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_structure_and_angles_on_random_circuits(self, seed):
+        circuit = random_circuit(seed + 300)
+        batched, serial = run_both(
+            lambda batched: Optimize1qGates(batched=batched), circuit
+        )
+        assert_structure_and_angles(batched, serial)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batched_preserves_semantics(self, seed):
+        circuit = random_circuit(seed + 400, measures=False)
+        out = Optimize1qGates(batched=True).run(circuit, PropertySet())
+        assert_unitarily_equal(circuit, out)
+
+    def test_pure_1q_runs_collapse(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(10):
+            circuit.h(0)
+            circuit.t(0)
+        batched, serial = run_both(
+            lambda batched: Optimize1qGates(batched=batched), circuit
+        )
+        assert len(batched.data) == 1
+        assert_structure_and_angles(batched, serial)
+
+    def test_empty_circuit(self):
+        batched, serial = run_both(
+            lambda batched: Optimize1qGates(batched=batched), QuantumCircuit(3)
+        )
+        assert_bit_identical(batched, serial)
+
+    def test_identity_run_disappears(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.x(0)
+        out = Optimize1qGates(batched=True).run(circuit, PropertySet())
+        assert len(out.data) == 0
