@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Result-cache shoot-out: warm cache hits vs full recompilation.
+
+Measures the content-addressed compiled-result cache of
+:mod:`repro.transpiler.result_cache` on a production-shaped workload --
+the same job batch arriving over and over (exact hits), and the same
+ansatz arriving with fresh parameters (template hits that re-bind the
+cached compile instead of re-running the pipeline):
+
+* **exact** -- one batch compiled cold (``result_cache=False``), then the
+  identical batch served from a warm cache.  ``check_regression.py
+  --result-cache`` gates this speedup (>= 5x by default).
+* **template** -- the cache learns the parameterized template from two
+  samples, then a batch of *never-seen* parameterizations is served by
+  re-binding (informational; reported alongside its hit counts).
+
+Usage::
+
+    python benchmarks/bench_result_cache.py --quick --metrics-json REPORT.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.algorithms import quantum_phase_estimation, ry_ansatz
+from repro.transpiler import CompileService, Target, write_metrics_json
+
+
+def best_of(repeats: int, func) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def exact_batch(quick: bool) -> list:
+    """A mixed batch: repeated structures, distinct parameterizations."""
+    rng = np.random.default_rng(7)
+    num = 8 if quick else 24
+    batch = []
+    for index in range(num):
+        if index % 4 == 3:
+            batch.append(quantum_phase_estimation(3))
+        else:
+            batch.append(
+                ry_ansatz(4, depth=2, parameters=rng.uniform(0, 2 * np.pi, (3, 4)))
+            )
+    return batch
+
+
+def template_params(quick: bool) -> list:
+    rng = np.random.default_rng(13)
+    num = 8 if quick else 32
+    return [rng.uniform(0.1, 2 * np.pi - 0.1, (3, 4)) for _ in range(num)]
+
+
+def bench_exact(batch, target, seeds, repeats: int) -> dict:
+    def cold():
+        with CompileService(
+            mode="serial", pipeline="rpo", result_cache=False
+        ) as service:
+            service.map([c.copy() for c in batch], targets=target, seeds=seeds)
+
+    cold_s = best_of(repeats, cold)
+
+    with CompileService(mode="serial", pipeline="rpo") as service:
+        service.map([c.copy() for c in batch], targets=target, seeds=seeds)
+
+        def warm():
+            service.map([c.copy() for c in batch], targets=target, seeds=seeds)
+
+        warm_s = best_of(repeats, warm)
+        stats = service.stats()
+    return {
+        "jobs": len(batch),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "hits": stats["result_cache_hits"],
+    }
+
+
+def bench_template(params, target, repeats: int) -> dict:
+    """Fresh parameterizations of one ansatz family, served by re-binding."""
+
+    def cold():
+        with CompileService(
+            mode="serial", pipeline="rpo", result_cache=False
+        ) as service:
+            service.map(
+                [ry_ansatz(4, depth=2, parameters=p) for p in params],
+                targets=target,
+                seeds=[0] * len(params),
+            )
+
+    cold_s = best_of(repeats, cold)
+
+    with CompileService(mode="serial", pipeline="rpo") as service:
+        # two samples teach the template; everything after re-binds
+        warmup = template_params(quick=True)[:2]
+        service.map(
+            [ry_ansatz(4, depth=2, parameters=p) for p in warmup],
+            targets=target,
+            seeds=[0, 0],
+        )
+        start = time.perf_counter()
+        service.map(
+            [ry_ansatz(4, depth=2, parameters=p) for p in params],
+            targets=target,
+            seeds=[0] * len(params),
+        )
+        warm_s = time.perf_counter() - start
+        stats = service.stats()
+    return {
+        "jobs": len(params),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "template_hits": stats["result_cache_template_hits"],
+        "templates_learned": stats["result_cache"]["template_learned"],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small batch (CI)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--metrics-json", metavar="PATH", help="write a report")
+    args = parser.parse_args(argv)
+
+    target = Target.preset("melbourne")
+    batch = exact_batch(args.quick)
+    seeds = list(range(len(batch)))
+    exact = bench_exact(batch, target, seeds, args.repeats)
+    template = bench_template(template_params(args.quick), target, args.repeats)
+
+    report = {
+        "result_cache": {
+            "exact": exact,
+            "template": template,
+        }
+    }
+
+    print(f"{'stage':<10} {'jobs':>6} {'cold':>10} {'warm':>10} {'speedup':>9}")
+    for stage, entry in report["result_cache"].items():
+        print(
+            f"{stage:<10} {entry['jobs']:>6} {entry['cold_s']:>9.4f}s "
+            f"{entry['warm_s']:>9.4f}s {entry['speedup']:>8.2f}x"
+        )
+
+    if args.metrics_json:
+        write_metrics_json(args.metrics_json, report)
+        print(f"wrote {args.metrics_json}")
+
+
+if __name__ == "__main__":
+    main()

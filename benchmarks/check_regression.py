@@ -26,8 +26,15 @@ With ``--kernels REPORT.json`` (the report written by
 ``bench_kernels.py --metrics-json``) the gate checks the **batched
 numeric kernels**: stacked-operand block consolidation must beat the
 per-block serial path by at least ``--kernels-min-speedup`` (default
-1.5x).  Any report flag may be used without the positional table report
-(the server-smoke CI job gates on the server report alone).
+1.5x).
+
+With ``--result-cache REPORT.json`` (the report written by
+``bench_result_cache.py --metrics-json``) the gate checks the
+**compiled-result cache**: a warm repeat of a batch must beat the cold
+compile by at least ``--result-cache-min-speedup`` (default 5x), every
+warm job must actually hit, and the template path must have learned and
+re-bound.  Any report flag may be used without the positional table
+report (the server-smoke CI job gates on the server report alone).
 
 Refreshing the baseline after an intentional change::
 
@@ -147,6 +154,42 @@ def check_kernel_speedup(report: dict, min_speedup: float) -> list[str]:
     return failures
 
 
+def check_result_cache(report: dict, min_speedup: float) -> list[str]:
+    """Result-cache gates over a ``bench_result_cache.py`` metrics report.
+
+    * warm exact hits must beat cold compilation by >= ``min_speedup``;
+    * every warm job must have been served from the cache;
+    * the template path must have learned a template and re-bound with it.
+    """
+    failures: list[str] = []
+    cache = report.get("result_cache", {})
+    exact = cache.get("exact", {})
+    speedup = exact.get("speedup")
+    if speedup is None:
+        return [
+            "result-cache report lacks the warm-hit speedup; run "
+            "bench_result_cache.py with --metrics-json"
+        ]
+    if speedup < min_speedup:
+        failures.append(
+            f"warm result-cache hits ({speedup:.2f}x) fell below the "
+            f"required {min_speedup:.2f}x over cold compiles"
+        )
+    if exact.get("hits", 0) < exact.get("jobs", 0):
+        failures.append(
+            f"warm repeat served only {exact.get('hits', 0)} cache hits "
+            f"for {exact.get('jobs', 0)} jobs"
+        )
+    template = cache.get("template", {})
+    if template.get("templates_learned", 0) < 1:
+        failures.append("result cache never learned a parameterized template")
+    elif template.get("template_hits", 0) < 1:
+        failures.append(
+            "result cache learned a template but served no template hits"
+        )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -214,10 +257,25 @@ def main(argv=None):
         help="required batched-vs-serial block consolidation speedup "
         "(default 1.5)",
     )
+    parser.add_argument(
+        "--result-cache",
+        metavar="PATH",
+        help="bench_result_cache.py metrics report; enables the warm-hit "
+        "speedup and template-learning gates",
+    )
+    parser.add_argument(
+        "--result-cache-min-speedup",
+        type=float,
+        default=5.0,
+        help="required warm-hit speedup over cold compilation (default 5.0)",
+    )
     args = parser.parse_args(argv)
-    if args.current is None and not (args.executors or args.server or args.kernels):
+    if args.current is None and not (
+        args.executors or args.server or args.kernels or args.result_cache
+    ):
         parser.error(
-            "need a metrics report (positional) or --executors/--server/--kernels"
+            "need a metrics report (positional) or "
+            "--executors/--server/--kernels/--result-cache"
         )
 
     failures: list[str] = []
@@ -244,6 +302,10 @@ def main(argv=None):
         failures += check_kernel_speedup(
             load_metrics_json(args.kernels), args.kernels_min_speedup
         )
+    if args.result_cache:
+        failures += check_result_cache(
+            load_metrics_json(args.result_cache), args.result_cache_min_speedup
+        )
     if failures:
         print(f"REGRESSIONS vs {args.baseline}:")
         for failure in failures:
@@ -256,6 +318,8 @@ def main(argv=None):
         checked += " (+ server loopback throughput)"
     if args.kernels:
         checked += " (+ batched-kernel speedup)"
+    if args.result_cache:
+        checked += " (+ result-cache warm-hit speedup)"
     print(
         f"regression gate passed: {rows} rows within tolerance of baseline"
         f"{checked}"

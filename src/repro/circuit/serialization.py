@@ -28,7 +28,14 @@ from __future__ import annotations
 from repro.circuit.instruction import Instruction
 from repro.circuit.quantumcircuit import QuantumCircuit
 
-__all__ = ["circuit_to_payload", "circuit_from_payload", "PAYLOAD_VERSION"]
+__all__ = [
+    "circuit_to_payload",
+    "circuit_from_payload",
+    "payload_fingerprints",
+    "payload_param_slots",
+    "payload_rebind",
+    "PAYLOAD_VERSION",
+]
 
 PAYLOAD_VERSION = 1
 
@@ -189,6 +196,188 @@ def circuit_to_payload(circuit: QuantumCircuit) -> tuple:
         circuit.global_phase,
         tuple(table),
         tuple(data),
+    )
+
+
+# ---------------------------------------------------------------------------
+# content fingerprints
+#
+# The result cache (repro.transpiler.result_cache) addresses compiled
+# answers by circuit *content*.  Two fingerprints are derived from one
+# payload walk:
+#
+# * the **exact key** -- per-instruction operation specs with every
+#   parameter value included, plus wire counts and global phase; two
+#   circuits with the same exact key compile to bit-identical outputs
+#   (for the same target/options), so the key can address the answer.
+# * the **template key** -- the same walk with every rotation-angle
+#   parameter of the standard parametric gates replaced by a positional
+#   placeholder, the angles extracted into a parameter vector (instruction
+#   order, global phase appended last).  "Same ansatz, different bound
+#   parameters" collapses onto one template key, which is what lets the
+#   cache serve near-duplicate traffic by re-binding parameters instead of
+#   recompiling.
+#
+# Circuit *names* deliberately take part in neither key: content
+# addressing must not fragment on labels.
+
+#: Parametric gate classes whose float params are rotation angles --
+#: exactly the ones the template fingerprint canonicalizes out.
+#: ``Annotation`` params are semantic markers, not angles, and stay put.
+ANGLE_GATE_CLASSES = frozenset(
+    {
+        "U1Gate", "U2Gate", "U3Gate", "RXGate", "RYGate", "RZGate",
+        "CPhaseGate", "CRXGate", "CRYGate", "CRZGate", "CU3Gate",
+        "MCU1Gate",
+    }
+)
+
+#: Placeholder standing in for a stripped angle inside template specs.
+_ANGLE_SLOT = "θ"
+
+
+def _spec_angles(spec: tuple):
+    """``(hashable_exact, hashable_template, angles)`` of one table entry.
+
+    Returns ``None`` for entries with no canonical content form ("raw"
+    operations carried by pickle) -- circuits holding those cannot be
+    content-addressed.
+    """
+    cls = spec[0]
+    if cls == "raw":
+        return None
+    if cls == "unitary":
+        matrix = spec[1]
+        body = ("unitary", matrix.shape, matrix.dtype.str, matrix.tobytes())
+        return (body, body, ())
+    if cls not in ANGLE_GATE_CLASSES:
+        return (spec, spec, ())
+    if cls == "MCU1Gate":
+        # (cls, angle, num_ctrl_qubits, ctrl_state, label)
+        template = (cls, _ANGLE_SLOT, *spec[2:])
+        return (spec, template, (spec[1],))
+    # _PARAM_ONLY: (cls, params, label); _PARAM_CTRL: (cls, params, cs, label)
+    params = spec[1]
+    template = (cls, (_ANGLE_SLOT, len(params)), *spec[2:])
+    return (spec, template, tuple(params))
+
+
+def payload_fingerprints(payload: tuple):
+    """``(exact_key, template_key, params)`` content keys of a payload.
+
+    ``exact_key`` and ``template_key`` are hashable tuples; ``params`` is
+    the tuple of extracted rotation angles in instruction order with the
+    circuit's global phase appended as the final slot (so phase rides the
+    same re-binding machinery as any other angle).  Returns ``None`` when
+    the circuit carries operations with no canonical content form.
+    """
+    version, _name, num_qubits, num_clbits, phase, table, data = payload
+    per_entry = []
+    for spec in table:
+        entry = _spec_angles(spec)
+        if entry is None:
+            return None
+        per_entry.append(entry)
+    exact_body = []
+    template_body = []
+    params: list[float] = []
+    for index, qubits, clbits in data:
+        exact_spec, template_spec, angles = per_entry[index]
+        exact_body.append((exact_spec, tuple(qubits), tuple(clbits)))
+        template_body.append((template_spec, tuple(qubits), tuple(clbits)))
+        params.extend(angles)
+    params.append(float(phase))
+    exact_key = (version, num_qubits, num_clbits, float(phase), tuple(exact_body))
+    template_key = (version, num_qubits, num_clbits, tuple(template_body))
+    return exact_key, template_key, tuple(params)
+
+
+def payload_param_slots(payload: tuple):
+    """Gate-level structure of a payload's angle-slot vector.
+
+    Returns ``[(gate_class, start, count), ...]`` -- one entry per
+    angle-bearing instruction occurrence, in the same order
+    :func:`payload_fingerprints` extracts the slots (the trailing global
+    phase slot is not listed; callers know it is last).  The result-cache
+    re-binding machinery uses this to fit *gate-level* relations (an
+    Euler-merged ``u3`` is one unit of three coupled angles, not three
+    independent slots).  Returns ``None`` for payloads with no canonical
+    content form.
+    """
+    _version, _name, _nq, _nc, _phase, table, data = payload
+    per_entry = []
+    for spec in table:
+        entry = _spec_angles(spec)
+        if entry is None:
+            return None
+        per_entry.append(entry)
+    groups = []
+    cursor = 0
+    for index, _qubits, _clbits in data:
+        count = len(per_entry[index][2])
+        if count:
+            groups.append((table[index][0], cursor, count))
+            cursor += count
+    return groups
+
+
+def payload_rebind(payload: tuple, params) -> tuple:
+    """A copy of ``payload`` with its angle slots bound to ``params``.
+
+    ``params`` follows the :func:`payload_fingerprints` vector layout:
+    one value per rotation angle in instruction order, global phase last.
+    The operation table is rebuilt (with de-duplication) because two
+    instructions sharing one table entry may bind to different values.
+    """
+    version, name, num_qubits, num_clbits, _phase, table, data = payload
+    params = list(params)
+    phase = params.pop()
+    table_angles = [_spec_angles(spec) for spec in table]
+    new_table: list = []
+    by_spec: dict = {}  # rebound (hashable) spec -> new table index
+    by_old: dict = {}  # untouched old table index -> new table index
+    new_data = []
+    cursor = 0
+    for index, qubits, clbits in data:
+        entry = table_angles[index]
+        if entry is not None and entry[2]:
+            count = len(entry[2])
+            values = tuple(params[cursor : cursor + count])
+            cursor += count
+            spec = table[index]
+            cls = spec[0]
+            if cls == "MCU1Gate":
+                spec = (cls, values[0], *spec[2:])
+            else:
+                spec = (cls, values, *spec[2:])
+            new_index = by_spec.get(spec)
+            if new_index is None:
+                new_index = len(new_table)
+                new_table.append(spec)
+                by_spec[spec] = new_index
+        else:
+            # angle-free entry: carried over as-is (specs may hold
+            # unhashable leaves -- unitary matrices -- so dedup by the
+            # old index, which the source payload already de-duplicated)
+            new_index = by_old.get(index)
+            if new_index is None:
+                new_index = len(new_table)
+                new_table.append(table[index])
+                by_old[index] = new_index
+        new_data.append((new_index, qubits, clbits))
+    if cursor != len(params):
+        raise ValueError(
+            f"payload_rebind got {len(params) + 1} values for "
+            f"{cursor + 1} angle slots"
+        )
+    return (
+        version,
+        name,
+        num_qubits,
+        num_clbits,
+        phase,
+        tuple(new_table),
+        tuple(new_data),
     )
 
 

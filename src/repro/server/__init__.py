@@ -11,8 +11,9 @@ shaped for.  Four pieces, bottom to top:
   anything malformed raises :class:`ProtocolError`.
 * :mod:`repro.server.app` -- :class:`CompileServer`, a stdlib
   ``ThreadingHTTPServer`` wrapping one persistent service: ``POST
-  /compile``, ``GET /healthz``, ``GET /metrics``, ``POST /shutdown``.
-  ``python -m repro.server`` boots one from the shell.
+  /compile``, ``GET /healthz``, ``GET /metrics``, ``GET
+  /cache/<fingerprint>`` (compiled-result peer lookup), ``POST
+  /shutdown``.  ``python -m repro.server`` boots one from the shell.
 * :mod:`repro.server.client` -- :class:`RemoteCompileService`, the
   drop-in client mirroring ``submit()``/``map()``; pass it anywhere a
   local service goes (``transpile(..., service=remote)``) or let the

@@ -20,6 +20,7 @@ import threading
 
 from repro.server.app import CompileServer
 from repro.transpiler.frontend import PIPELINES
+from repro.transpiler.result_cache import ResultCache
 from repro.transpiler.service import SERVICE_MODES
 
 
@@ -77,6 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="min seconds between worker cache-delta exports (0 = every chunk)",
     )
     parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the compiled-result cache (every job compiles)",
+    )
+    parser.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=4096,
+        help="LRU bound on exact result-cache entries (default 4096)",
+    )
+    parser.add_argument(
+        "--result-cache-ttl",
+        type=float,
+        default=None,
+        help="seconds a cached result stays servable (default: forever)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
@@ -84,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    result_cache = (
+        False
+        if args.no_result_cache
+        else ResultCache(
+            max_entries=args.result_cache_size, ttl=args.result_cache_ttl
+        )
+    )
     server = CompileServer(
         host=args.host,
         port=args.port,
@@ -96,6 +121,7 @@ def main(argv=None) -> int:
         snapshot_path=args.snapshot_path,
         harvest_interval=args.harvest_interval,
         autosave_interval=args.autosave_interval,
+        result_cache=result_cache,
     )
 
     def stop(signum, frame):  # noqa: ARG001 - signal signature

@@ -17,7 +17,14 @@ client on the network.  Routes:
   what a load balancer or the CI smoke job polls.
 * ``GET /metrics`` -- the service's ``stats()`` plus server-side wire
   counters (requests, jobs, per-target job counts -- the shard-affinity
-  signal) as JSON.
+  signal) and the compiled-result cache's hit/miss/eviction counters,
+  as JSON.
+* ``GET /cache/<fingerprint>`` -- peer lookup into the compiled-result
+  cache: a ``cache`` frame with the result payload on a hit, HTTP 404
+  on a miss.  ``POST /compile`` responses also carry an
+  ``X-Repro-Cache-Hits`` header counting the request's cache-served
+  jobs, and each result entry its ``"cached"`` disposition
+  (protocol version 2).
 * ``POST /shutdown`` -- graceful remote stop: drains the pool, persists
   the cache snapshot, exits ``serve_forever``.  For operational use
   behind a trusted network only, like every other route (the server
@@ -45,12 +52,14 @@ from repro.server.protocol import (
     ProtocolError,
     decode_frame,
     decode_jobs,
+    encode_cache_entry,
     encode_error,
     encode_frame,
     encode_results,
 )
 from repro.transpiler.exceptions import TranspilerError
 from repro.transpiler.service import (
+    CACHE_PROPERTY,
     TARGET_PROPERTY,
     CompileService,
     _sanitize_properties,
@@ -61,6 +70,10 @@ __all__ = ["CompileServer"]
 
 #: Content type of protocol frames on the wire.
 FRAME_CONTENT_TYPE = "application/x-repro-frame"
+
+#: Response header on ``POST /compile``: how many of the request's jobs
+#: were served from the compiled-result cache instead of the pool.
+CACHE_HITS_HEADER = "X-Repro-Cache-Hits"
 
 #: Request bodies above this are refused before reading (HTTP 413).
 MAX_REQUEST_BYTES = 256 * 1024 * 1024
@@ -84,10 +97,14 @@ class _Handler(BaseHTTPRequestHandler):
         if self.compile_server.verbose:
             super().log_message(format, *args)
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self, status: int, body: bytes, content_type: str, headers: dict | None = None
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -98,8 +115,10 @@ class _Handler(BaseHTTPRequestHandler):
             "application/json",
         )
 
-    def _send_frame(self, status: int, envelope: dict) -> None:
-        self._send(status, encode_frame(envelope), FRAME_CONTENT_TYPE)
+    def _send_frame(
+        self, status: int, envelope: dict, headers: dict | None = None
+    ) -> None:
+        self._send(status, encode_frame(envelope), FRAME_CONTENT_TYPE, headers)
 
     def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length", 0))
@@ -115,6 +134,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, server.health())
         elif self.path == "/metrics":
             self._send_json(200, server.metrics())
+        elif self.path.startswith("/cache/"):
+            fingerprint = self.path[len("/cache/") :]
+            envelope = server.handle_cache_lookup(fingerprint)
+            if envelope is None:
+                self._send_json(404, {"found": False, "fingerprint": fingerprint})
+            else:
+                self._send_frame(200, envelope)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -123,7 +149,7 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/compile":
             try:
                 body = self._read_body()
-                response = server.handle_compile(body)
+                response, cache_hits = server.handle_compile(body)
             except ProtocolError as exc:
                 server._count("protocol_errors")
                 self._send_frame(400, encode_error(str(exc)))
@@ -131,7 +157,7 @@ class _Handler(BaseHTTPRequestHandler):
                 server._count("internal_errors")
                 self._send_frame(500, encode_error(f"internal error: {exc}"))
             else:
-                self._send_frame(200, response)
+                self._send_frame(200, response, {CACHE_HITS_HEADER: cache_hits})
         elif self.path == "/shutdown":
             self._send_json(200, {"status": "shutting down"})
             # from a thread: shutdown() must not wait on this very handler
@@ -256,12 +282,15 @@ class CompileServer:
         with self._lock:
             self._counters[key] = self._counters.get(key, 0) + amount
 
-    def handle_compile(self, body: bytes) -> dict:
-        """One compile envelope in, one result envelope out.
+    def handle_compile(self, body: bytes) -> tuple[dict, int]:
+        """One compile envelope in; ``(result envelope, cache hits)`` out.
 
         Raises :class:`ProtocolError` for malformed requests (the handler
         maps it to HTTP 400); job-level failures are encoded per job so
-        the rest of the chunk still returns compiled circuits.
+        the rest of the chunk still returns compiled circuits.  The hit
+        count (jobs served from the compiled-result cache rather than the
+        pool) rides back in the :data:`CACHE_HITS_HEADER` header, and
+        each result entry carries its ``"cached"`` disposition.
         """
         envelope = decode_frame(body)
         jobs = decode_jobs(envelope)
@@ -273,13 +302,19 @@ class CompileServer:
                 self._jobs_by_target[label] = self._jobs_by_target.get(label, 0) + 1
         futures = self.service.submit_payloads(jobs)
         outcomes = []
+        cached = []
+        cache_hits = 0
         for future in futures:
             try:
                 result = future.result()
             except Exception as exc:  # noqa: BLE001 - encoded per job
                 self._count("job_failures")
                 outcomes.append(("error", exc))
+                cached.append(None)
                 continue
+            disposition = result.properties.get(CACHE_PROPERTY)
+            if disposition is not None:
+                cache_hits += 1
             properties = _sanitize_properties(result.properties)
             # the client re-attaches its own (equal) Target object; no
             # point shipping ours back
@@ -296,7 +331,28 @@ class CompileServer:
                     ),
                 )
             )
-        return encode_results(outcomes)
+            cached.append(disposition)
+        if cache_hits:
+            self._count("jobs_cached", cache_hits)
+        return encode_results(outcomes, cached), cache_hits
+
+    def handle_cache_lookup(self, fingerprint: str) -> dict | None:
+        """The ``GET /cache/<fingerprint>`` body: a ``cache`` envelope
+        when this shard's result cache holds the exact entry, else
+        ``None`` (the handler answers 404).
+
+        This is the peer-lookup route: a :class:`~repro.server.router
+        .ShardRouter` (or any client knowing a job's
+        :func:`~repro.transpiler.result_cache.job_fingerprint`) asks
+        shards for already-compiled results before dispatching work.
+        """
+        cache = self.service.result_cache
+        if cache is None or not fingerprint:
+            return None
+        found = cache.lookup_fingerprint(fingerprint)
+        if found is None:
+            return None
+        return encode_cache_entry(fingerprint, found)
 
     # -- introspection -----------------------------------------------------
 
@@ -332,6 +388,11 @@ class CompileServer:
                     if isinstance(v, (int, float))
                 },
             },
+            "result_cache": (
+                self.service.result_cache.stats()
+                if self.service.result_cache is not None
+                else None
+            ),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

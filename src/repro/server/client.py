@@ -43,6 +43,7 @@ from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.circuit.serialization import circuit_from_payload, circuit_to_payload
 from repro.server.protocol import (
     ProtocolError,
+    decode_cache_entry,
     decode_frame,
     decode_results,
     encode_frame,
@@ -50,6 +51,7 @@ from repro.server.protocol import (
     split_chunks,
 )
 from repro.transpiler.exceptions import TranspilerError
+from repro.transpiler.options import CompileOptions
 from repro.transpiler.passes import IBM_BASIS
 from repro.transpiler.passmanager import PropertySet, TranspileResult
 from repro.transpiler.service import (
@@ -81,6 +83,7 @@ class RemoteCompileService:
         chunk_size: int | str = "auto",
         target: Target | str | None = None,
         basis_gates=IBM_BASIS,
+        options: CompileOptions | None = None,
     ):
         """Args:
             endpoint: the server's base URL, e.g. ``"http://host:8642"``.
@@ -94,10 +97,15 @@ class RemoteCompileService:
                 request per circuit).
             target / basis_gates: client-side defaults mirroring the
                 local service; jobs always ship a fully-resolved target.
+            options: a :class:`~repro.transpiler.options.CompileOptions`
+                providing default ``pipeline`` / ``optimization_level`` /
+                ``seed`` / ``initial_layout`` for submissions that name
+                none (per-call arguments win).
         """
         self.endpoint = endpoint.rstrip("/")
         self.timeout = float(timeout)
         self.chunk_size = chunk_size
+        self.options = options if options is not None else CompileOptions()
         self._basis = tuple(basis_gates)
         self._default_target = (
             Target.coerce(target, basis=self._basis) if target is not None else None
@@ -108,6 +116,7 @@ class RemoteCompileService:
         self._closed = False
         self._requests = 0
         self._jobs_sent = 0
+        self._remote_cache_hits = 0
 
     # -- service-mirror surface --------------------------------------------
 
@@ -229,11 +238,23 @@ class RemoteCompileService:
             resolved = self._default_target
         else:
             resolved = Target.full(circuit.num_qubits, basis=self._basis)
+        options = self.options
+        # a sequence seed is a per-circuit schedule; it cannot default a
+        # single job's seed, so only a scalar option seed applies here
+        option_seed = options.seed if not isinstance(options.seed, tuple) else None
         settings = {
-            "pipeline": pipeline,
-            "optimization_level": optimization_level,
-            "seed": seed,
-            "initial_layout": initial_layout,
+            "pipeline": pipeline if pipeline is not None else options.pipeline,
+            "optimization_level": (
+                optimization_level
+                if optimization_level is not None
+                else options.optimization_level
+            ),
+            "seed": seed if seed is not None else option_seed,
+            "initial_layout": (
+                initial_layout
+                if initial_layout is not None
+                else options.initial_layout
+            ),
         }
         job = (circuit_to_payload(circuit), resolved.to_payload(), settings)
         return job, resolved
@@ -256,7 +277,14 @@ class RemoteCompileService:
         with self._lock:
             self._requests += 1
             self._jobs_sent += len(jobs)
-        envelope = self._post("/compile", frame)
+        envelope, headers = self._post("/compile", frame)
+        try:
+            remote_hits = int(headers.get("X-Repro-Cache-Hits", 0))
+        except (TypeError, ValueError):
+            remote_hits = 0
+        if remote_hits:
+            with self._lock:
+                self._remote_cache_hits += remote_hits
         outcomes = decode_results(envelope)
         if len(outcomes) != len(jobs):
             raise ProtocolError(
@@ -282,7 +310,8 @@ class RemoteCompileService:
             )
         return out
 
-    def _post(self, path: str, frame: bytes) -> dict:
+    def _post(self, path: str, frame: bytes) -> tuple[dict, dict]:
+        """POST one frame; returns ``(envelope, response headers)``."""
         request = urllib.request.Request(
             self.endpoint + path,
             data=frame,
@@ -291,7 +320,7 @@ class RemoteCompileService:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return decode_frame(response.read())
+                return decode_frame(response.read()), dict(response.headers)
         except urllib.error.HTTPError as exc:
             body = exc.read()
             try:
@@ -326,6 +355,32 @@ class RemoteCompileService:
         """The server's ``/healthz`` body."""
         return self._get_json("/healthz")
 
+    def cache_lookup(self, fingerprint: str):
+        """Peer lookup: the server's cached result payload under an exact
+        :func:`~repro.transpiler.result_cache.job_fingerprint`, or
+        ``None`` (a miss, or a server with result caching disabled).
+
+        Unreachable-server errors still raise; only an HTTP 404 is a
+        clean miss.
+        """
+        request = urllib.request.Request(
+            f"{self.endpoint}/cache/{fingerprint}", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return decode_cache_entry(decode_frame(response.read()))
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise ProtocolError(
+                f"compile server at {self.endpoint} answered HTTP {exc.code} "
+                "to a cache lookup"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise TranspilerError(
+                f"cannot reach compile server at {self.endpoint}: {exc.reason}"
+            ) from None
+
     def stats(self) -> dict:
         """Client counters + the server's ``/metrics`` body."""
         remote = self._get_json("/metrics")
@@ -334,6 +389,7 @@ class RemoteCompileService:
                 "endpoint": self.endpoint,
                 "requests": self._requests,
                 "jobs_sent": self._jobs_sent,
+                "remote_cache_hits": self._remote_cache_hits,
             }
         return {"client": local, **remote}
 

@@ -27,6 +27,12 @@ of jobs (each its own circuit + target + settings blob), so a huge batch
 of cheap circuits costs one request per *chunk* rather than per circuit.
 :func:`split_chunks` / :func:`merge_chunks` are the (index-preserving)
 split/reassembly helpers the client and the shard router share.
+
+Protocol version 2 added the compiled-result-cache vocabulary: ``result``
+entries may carry a ``"cached"`` disposition (``"hit"``/``"template"``),
+and the ``cache`` envelope answers the ``GET /cache/<fingerprint>``
+peer-lookup route.  Version-1 frames (which simply lack those fields)
+are still accepted; see :data:`ACCEPTED_VERSIONS`.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from repro.transpiler.exceptions import TranspilerError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "ACCEPTED_VERSIONS",
     "ProtocolError",
     "encode_frame",
     "decode_frame",
@@ -50,14 +57,23 @@ __all__ = [
     "decode_jobs",
     "encode_results",
     "decode_results",
+    "decode_cached",
+    "encode_cache_entry",
+    "decode_cache_entry",
     "encode_error",
     "split_chunks",
     "merge_chunks",
 ]
 
-#: Version byte of the frame header; a frame carrying any other value is
-#: rejected with a :class:`ProtocolError` naming both versions.
-PROTOCOL_VERSION = 1
+#: Version byte of the frame header.  Version 2 added the result-cache
+#: vocabulary: per-result ``"cached"`` dispositions inside ``result``
+#: envelopes and the ``cache`` envelope of the peer-lookup route.
+PROTOCOL_VERSION = 2
+
+#: Versions this build decodes.  Version 1 frames differ only by the
+#: *absence* of the cache fields, so they remain fully readable; frames
+#: from the future are rejected.
+ACCEPTED_VERSIONS = (1, 2)
 
 _MAGIC = b"RPOC"
 _HEADER = struct.Struct(">4sBI")
@@ -90,10 +106,10 @@ def decode_frame(data: bytes) -> dict:
     magic, version, length = _HEADER.unpack_from(data)
     if magic != _MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r} (expected {_MAGIC!r})")
-    if version != PROTOCOL_VERSION:
+    if version not in ACCEPTED_VERSIONS:
         raise ProtocolError(
             f"foreign protocol version {version} (this build speaks "
-            f"{PROTOCOL_VERSION})"
+            f"{', '.join(map(str, ACCEPTED_VERSIONS))})"
         )
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
@@ -176,17 +192,24 @@ def decode_jobs(envelope: dict) -> list[tuple]:
     return jobs
 
 
-def encode_results(outcomes: Sequence[tuple]) -> dict:
+def encode_results(outcomes: Sequence[tuple], cached: Sequence | None = None) -> dict:
     """A ``result`` envelope: per-job ``("ok", payloads)`` / ``("error", exc)``.
 
     Mirrors the chunked worker envelope's outcome shape -- errors stay
     per-job so one bad circuit reports *its* failure while its chunk-mates
-    come back compiled.
+    come back compiled.  ``cached`` (protocol 2) optionally tags each job
+    with its result-cache disposition: ``"hit"``, ``"template"`` or
+    ``None`` (freshly compiled).
     """
+    if cached is None:
+        cached = [None] * len(outcomes)
     results = []
-    for status, value in outcomes:
+    for (status, value), disposition in zip(outcomes, cached):
         if status == "ok":
-            results.append({"ok": True, "blob": pack_blob(value)})
+            entry = {"ok": True, "blob": pack_blob(value)}
+            if disposition is not None:
+                entry["cached"] = disposition
+            results.append(entry)
         else:
             results.append(
                 {
@@ -232,6 +255,47 @@ def decode_results(envelope: dict) -> list[tuple]:
             label = f"{kind}: {message}" if kind not in (None, "TranspilerError") else message
             outcomes.append(("error", TranspilerError(label)))
     return outcomes
+
+
+def decode_cached(envelope: dict) -> list:
+    """Per-job cache dispositions of a ``result`` envelope.
+
+    ``"hit"`` / ``"template"`` / ``None`` per entry, in job order.
+    Version-1 envelopes (no ``cached`` keys) decode to all-``None``.
+    """
+    entries = envelope.get("results")
+    if not isinstance(entries, list):
+        raise ProtocolError("result envelope lacks a 'results' list")
+    return [
+        entry.get("cached") if isinstance(entry, dict) else None
+        for entry in entries
+    ]
+
+
+# -- peer cache lookup (protocol 2) -----------------------------------------
+
+
+def encode_cache_entry(fingerprint: str, result_payload) -> dict:
+    """A ``cache`` envelope: one peer-lookup answer (the found case; a
+    miss is an HTTP 404, no envelope needed)."""
+    return {
+        "type": "cache",
+        "protocol": PROTOCOL_VERSION,
+        "fingerprint": fingerprint,
+        "blob": pack_blob(result_payload),
+    }
+
+
+def decode_cache_entry(envelope: dict):
+    """The result payload of a ``cache`` envelope."""
+    if envelope.get("type") != "cache":
+        raise ProtocolError(
+            f"expected a 'cache' envelope, got {envelope.get('type')!r}"
+        )
+    blob = envelope.get("blob")
+    if blob is None:
+        raise ProtocolError("cache envelope lacks its 'blob'")
+    return unpack_blob(blob)
 
 
 def encode_error(message: str) -> dict:

@@ -30,6 +30,12 @@ results come back scattered to input order, every result stamped with the
 endpoint that served it (the ``"shard"`` property), and
 :func:`~repro.transpiler.metrics.aggregate_batch` merges per-shard
 breakdowns into the ``by_target`` report.
+
+When batches name their ``pipeline`` and ``optimization_level``
+explicitly, the router also consults the *other* shards' compiled-result
+caches (``GET /cache/<fingerprint>``) before dispatching -- an identical
+compile another shard already served comes back without ever shipping
+the job (``peer_cache=False`` turns this off).
 """
 
 from __future__ import annotations
@@ -39,11 +45,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Sequence
 
 from repro.circuit.quantumcircuit import QuantumCircuit
-from repro.server.client import RemoteCompileService
+from repro.circuit.serialization import circuit_from_payload, circuit_to_payload
+from repro.server.client import SHARD_PROPERTY, RemoteCompileService
 from repro.transpiler.exceptions import TranspilerError
-from repro.transpiler.service import normalize_batch
+from repro.transpiler.result_cache import job_fingerprint
+from repro.transpiler.service import CACHE_PROPERTY, TARGET_PROPERTY, normalize_batch
 from repro.transpiler.passes import IBM_BASIS
-from repro.transpiler.passmanager import TranspileResult
+from repro.transpiler.passmanager import PropertySet, TranspileResult
 from repro.transpiler.target import Target
 
 __all__ = ["ShardRouter"]
@@ -61,6 +69,7 @@ class ShardRouter:
         chunk_size: int | str = "auto",
         target: Target | str | None = None,
         basis_gates=IBM_BASIS,
+        peer_cache: bool = True,
     ):
         """Args:
             shards: endpoint URLs and/or prebuilt
@@ -69,6 +78,12 @@ class ShardRouter:
                 built from bare URLs (prebuilt clients keep their own).
             target / basis_gates: router-level defaults, mirroring the
                 local service.
+            peer_cache: consult the *other* shards' compiled-result
+                caches (``GET /cache/<fingerprint>``) before dispatching
+                a :meth:`map` job to its affine shard.  Only activates
+                for batches whose ``pipeline`` and ``optimization_level``
+                are explicit -- the client cannot reconstruct a server's
+                defaults, and a wrong guess must miss, not mis-hit.
         """
         if not shards:
             raise TranspilerError("ShardRouter needs at least one shard endpoint")
@@ -88,11 +103,14 @@ class ShardRouter:
         self._default_target = (
             Target.coerce(target, basis=self._basis) if target is not None else None
         )
+        self.peer_cache = bool(peer_cache)
         self._lock = threading.Lock()
         #: Target -> shard index; the affinity memory.
         self._affinity: dict[Target, int] = {}
         #: jobs routed per shard, the load-balance signal for new targets
         self._routed = [0] * len(self.shards)
+        self._peer_lookups = 0
+        self._peer_hits = 0
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
 
@@ -170,9 +188,16 @@ class ShardRouter:
             self._resolve_target(circuit, target)
             for circuit, target in zip(batch, per_targets)
         ]
+        routes = [self.route(target) for target in resolved]
+        peer_served = self._peer_lookup(
+            batch, resolved, routes, per_seeds,
+            pipeline, optimization_level, initial_layout,
+        )
         by_shard: dict[int, list[int]] = {}
-        for index, target in enumerate(resolved):
-            by_shard.setdefault(self.route(target), []).append(index)
+        for index, shard_index in enumerate(routes):
+            if index in peer_served:
+                continue
+            by_shard.setdefault(shard_index, []).append(index)
 
         def run_shard(shard_index: int, indices: list[int]) -> list[TranspileResult]:
             return self.shards[shard_index].map(
@@ -191,6 +216,8 @@ class ShardRouter:
             for shard_index, indices in by_shard.items()
         }
         results: list[TranspileResult | None] = [None] * len(batch)
+        for index, result in peer_served.items():
+            results[index] = result
         first_error: BaseException | None = None
         for shard_index, indices in by_shard.items():
             try:
@@ -204,6 +231,73 @@ class ShardRouter:
         if first_error is not None:
             raise first_error
         return results  # type: ignore[return-value]
+
+    # -- peer cache lookup ---------------------------------------------------
+
+    def _peer_lookup(
+        self, batch, resolved, routes, per_seeds,
+        pipeline, optimization_level, initial_layout,
+    ) -> dict[int, TranspileResult]:
+        """Results served by *other* shards' caches, by batch index.
+
+        A target's affine shard checks its own cache the moment the job
+        arrives; what it cannot see is an identical compile another shard
+        already did (a re-pinned target, an overlapping client).  One
+        ``GET /cache/<fingerprint>`` per peer answers that before the job
+        ships.  Only runs when the batch's ``pipeline`` and
+        ``optimization_level`` are explicit: the exact cache key includes
+        them as the *server* resolves them, so defaults left to the
+        server are unknowable here -- and the fingerprint must match
+        exactly or not at all.  An unreachable or cache-less peer is a
+        miss, never an error.
+        """
+        if (
+            not self.peer_cache
+            or len(self.shards) < 2
+            or pipeline is None
+            or optimization_level is None
+            or initial_layout is not None
+        ):
+            return {}
+        served: dict[int, TranspileResult] = {}
+        for index, circuit in enumerate(batch):
+            fingerprint = job_fingerprint(
+                circuit_to_payload(circuit),
+                resolved[index].to_payload(),
+                (pipeline, optimization_level, per_seeds[index]),
+            )
+            if fingerprint is None:
+                continue
+            for shard_index, shard in enumerate(self.shards):
+                if shard_index == routes[index]:
+                    continue  # its own cache answers at dispatch anyway
+                with self._lock:
+                    self._peer_lookups += 1
+                try:
+                    value = shard.cache_lookup(fingerprint)
+                except Exception:  # noqa: BLE001 - a dead peer is a miss
+                    continue
+                if value is None:
+                    continue
+                payload, metrics, loops, elapsed, props = value
+                # content addressing ignores names; serve under the
+                # requester's label, like the cache itself does
+                payload = (payload[0], circuit.name) + tuple(payload[2:])
+                properties = PropertySet(props)
+                properties[TARGET_PROPERTY] = resolved[index]
+                properties[SHARD_PROPERTY] = shard.endpoint
+                properties[CACHE_PROPERTY] = "peer"
+                served[index] = TranspileResult(
+                    circuit=circuit_from_payload(payload),
+                    properties=properties,
+                    metrics=metrics,
+                    loops=loops,
+                    time=elapsed,
+                )
+                with self._lock:
+                    self._peer_hits += 1
+                break
+        return served
 
     # -- introspection / lifecycle -----------------------------------------
 
@@ -228,6 +322,11 @@ class ShardRouter:
                 shard.endpoint: count
                 for shard, count in zip(self.shards, self._routed)
             }
+            peer = {
+                "enabled": self.peer_cache,
+                "lookups": self._peer_lookups,
+                "hits": self._peer_hits,
+            }
         per_shard = {}
         for shard in self.shards:
             try:
@@ -238,6 +337,7 @@ class ShardRouter:
             "num_shards": len(self.shards),
             "affinity": affinity,
             "jobs_routed": routed,
+            "peer_cache": peer,
             "shards": per_shard,
         }
 

@@ -58,6 +58,8 @@ from repro.transpiler.preset import (
     preset_pass_manager,
 )
 from repro.transpiler.target import Target, TARGET_PRESETS
+from repro.transpiler.options import CompileOptions
+from repro.transpiler.result_cache import ResultCache
 from repro.transpiler.frontend import EXECUTORS, PIPELINES, pass_manager_for, transpile
 from repro.transpiler.service import SERVICE_MODES, CompileService
 from repro.transpiler.metrics import (
@@ -88,6 +90,8 @@ __all__ = [
     "preset_pass_manager",
     "Target",
     "TARGET_PRESETS",
+    "CompileOptions",
+    "ResultCache",
     "CompileService",
     "SERVICE_MODES",
     "PIPELINES",

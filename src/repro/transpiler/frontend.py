@@ -48,6 +48,7 @@ from repro.transpiler.cache import AnalysisCache
 from repro.transpiler.coupling import CouplingMap
 from repro.transpiler.exceptions import TranspilerError
 from repro.transpiler.layout import Layout
+from repro.transpiler.options import CompileOptions
 from repro.transpiler.passes import IBM_BASIS
 from repro.transpiler.passmanager import PassManager
 from repro.transpiler.target import Target, resolve_targets
@@ -165,6 +166,8 @@ def transpile(
     full_result: bool = False,
     service=None,
     endpoint=None,
+    result_cache=None,
+    options: CompileOptions | None = None,
 ):
     """Compile one circuit -- or a batch -- for one or many targets.
 
@@ -215,15 +218,54 @@ def transpile(
             :class:`~repro.server.RemoteCompileService` or
             :class:`~repro.server.ShardRouter` works here too -- they
             mirror the service surface.
-        endpoint: compile-server URL(s) for ``executor="remote"``: one
-            ``"http://host:port"`` string, or a sequence of them to fan
-            the batch across shards with target-affinity routing.
+        endpoint: compile-server URL(s): one ``"http://host:port"``
+            string, or a sequence of them to fan the batch across shards
+            with target-affinity routing.  Setting ``endpoint=`` with the
+            default ``executor="auto"`` *implies* ``executor="remote"``;
+            naming any other executor alongside an endpoint raises.
+        result_cache: a shared
+            :class:`~repro.transpiler.result_cache.ResultCache` so
+            repeated ``transpile()`` calls serve previously compiled
+            answers without running a pipeline.  Unset, the one-shot
+            service runs uncached (a fresh per-call result cache could
+            never hit); a caller-owned ``service`` brings its own.
+        options: a :class:`~repro.transpiler.options.CompileOptions`
+            consolidating the compile knobs above (``pipeline``,
+            ``optimization_level``, ``seed``, ``executor``, ...).  The
+            individual keyword arguments are legacy spellings coerced
+            into it; naming the same knob both ways with different
+            values earns a :class:`DeprecationWarning` and the options
+            object wins.
 
     Returns:
         The transpiled circuit (or result) for single-circuit input, else
         a list in input order.
     """
     from repro.transpiler.service import transpile_batch
+
+    opts = CompileOptions.coerce(
+        options,
+        pipeline=pipeline,
+        optimization_level=optimization_level,
+        seed=seed,
+        initial_layout=initial_layout,
+        executor=executor,
+        max_workers=max_workers,
+        full_result=full_result,
+        analysis_cache=analysis_cache,
+        result_cache=result_cache,
+        endpoint=endpoint,
+    )
+    pipeline = opts.pipeline
+    optimization_level = opts.optimization_level
+    seed = opts.seed
+    initial_layout = opts.initial_layout
+    executor = opts.executor
+    max_workers = opts.max_workers
+    full_result = opts.full_result
+    analysis_cache = opts.analysis_cache
+    result_cache = opts.result_cache
+    endpoint = opts.endpoint
 
     explicit_basis = basis_gates is not None
     if basis_gates is None:
@@ -236,13 +278,18 @@ def transpile(
         raise TranspilerError(
             f"unknown executor {executor!r}; choose one of {', '.join(EXECUTORS)}"
         )
+    if endpoint is not None and executor == "auto":
+        executor = "remote"  # an endpoint can only mean the compile farm
     if executor == "remote" and endpoint is None and service is None:
         raise TranspilerError(
             'executor="remote" needs endpoint= (one URL, or a list of URLs '
             "to shard across)"
         )
     if endpoint is not None and executor != "remote":
-        raise TranspilerError('endpoint= requires executor="remote"')
+        raise TranspilerError(
+            f"endpoint= implies executor=\"remote\", which contradicts the "
+            f"explicit executor={executor!r}; drop one of the two"
+        )
     if endpoint is not None and service is not None:
         raise TranspilerError("pass either service= or endpoint=, not both")
     if not batch:
@@ -328,6 +375,7 @@ def transpile(
             initial_layout=initial_layout,
             cache=cache,
             max_workers=max_workers,
+            result_cache=result_cache,
         )
 
     if not full_result:

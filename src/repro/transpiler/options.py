@@ -1,0 +1,146 @@
+"""``CompileOptions``: one frozen value object for every compile knob.
+
+``transpile()`` historically grew 16 loosely-interacting keyword
+arguments; :class:`CompileOptions` consolidates them into a single frozen
+dataclass accepted by :func:`repro.transpiler.frontend.transpile`,
+:class:`~repro.transpiler.service.CompileService` and
+:class:`~repro.server.client.RemoteCompileService`.  Legacy keyword
+arguments keep working -- every entry point coerces them into an options
+object (:meth:`CompileOptions.coerce`), so there is exactly one code path
+-- and a combination that names the same knob twice with different values
+earns a :class:`DeprecationWarning` (the explicit options object wins).
+
+The options object is also the canonical **hashable** piece of the
+result-cache key: only the semantic fields -- the ones that change *what
+circuit comes out* -- take part in equality and hashing
+(``pipeline``, ``optimization_level``, ``seed``).  Execution-side fields
+(``executor``, ``max_workers``, ``full_result``, the cache objects,
+``endpoint``) change only *how fast* the answer arrives, so two options
+that differ only there compare equal and address the same cache entries
+(:meth:`CompileOptions.cache_key`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+
+from repro.transpiler.exceptions import TranspilerError
+
+__all__ = ["CompileOptions", "options_cache_key"]
+
+
+def options_cache_key(settings: dict) -> tuple:
+    """The result-cache options key of a *resolved* settings dict.
+
+    The service resolves per-job settings (submission overrides merged
+    over its defaults) before dispatch; this projects the resolved dict
+    onto the semantic triple the cache keys on.  Kept next to
+    :class:`CompileOptions` so the definition of "semantic" lives in one
+    place.
+    """
+    return (
+        settings.get("pipeline"),
+        settings.get("optimization_level"),
+        settings.get("seed"),
+    )
+
+
+def _hashable(value):
+    """Tuple-ize lists so seed/endpoint sequences survive freezing."""
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Every compile knob in one frozen, hashable value object.
+
+    Semantic fields (part of equality, hashing and the result-cache key):
+
+    * ``pipeline`` -- pass-manager flavour (``None`` defers to the
+      serving service's configured default).
+    * ``optimization_level`` -- preset level for ``pipeline="preset"``.
+    * ``seed`` -- routing seed; a sequence gives one seed per circuit.
+
+    Execution fields (how the answer is produced, excluded from
+    equality/hash):
+
+    * ``executor`` / ``max_workers`` / ``full_result`` -- mirror the
+      historical ``transpile()`` keywords.
+    * ``analysis_cache`` / ``result_cache`` -- caller-shared caches.
+    * ``endpoint`` -- compile-server URL(s); setting it implies
+      ``executor="remote"`` when the executor is left on ``"auto"``.
+    * ``initial_layout`` -- a :class:`~repro.transpiler.layout.Layout`;
+      participates in equality but not hashing (layouts are mutable), and
+      any job carrying one bypasses the result cache.
+    """
+
+    pipeline: str | None = None
+    optimization_level: int | None = None
+    seed: object = None
+    initial_layout: object = field(default=None, hash=False)
+    executor: str = field(default="auto", compare=False)
+    max_workers: int | None = field(default=None, compare=False)
+    full_result: bool = field(default=False, compare=False)
+    analysis_cache: object = field(default=None, compare=False, repr=False)
+    result_cache: object = field(default=None, compare=False, repr=False)
+    endpoint: object = field(default=None, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "seed", _hashable(self.seed))
+        object.__setattr__(self, "endpoint", _hashable(self.endpoint))
+
+    # -- the cache-key projection ------------------------------------------
+
+    def cache_key(self) -> tuple:
+        """The hashable semantic triple the result cache keys on."""
+        return (self.pipeline, self.optimization_level, self.seed)
+
+    # -- legacy-kwarg coercion ---------------------------------------------
+
+    @classmethod
+    def coerce(cls, options: "CompileOptions | None" = None, **legacy) -> "CompileOptions":
+        """Merge legacy keyword arguments into one options object.
+
+        With no ``options``, the legacy kwargs simply populate a fresh
+        object (the silent, fully-supported path).  With an explicit
+        ``options`` object, any legacy kwarg that *disagrees* with it --
+        both set away from the field default, different values -- earns a
+        :class:`DeprecationWarning` naming the field, and the options
+        object wins; a legacy kwarg the options object leaves at its
+        default is adopted quietly.
+        """
+        defaults = {f.name: f.default for f in fields(cls)}
+        unknown = set(legacy) - set(defaults)
+        if unknown:
+            raise TranspilerError(
+                f"unknown compile option(s): {', '.join(sorted(unknown))}"
+            )
+        legacy = {
+            name: _hashable(value)
+            for name, value in legacy.items()
+            if value is not None and value != defaults[name]
+        }
+        if options is None:
+            return cls(**legacy)
+        if not isinstance(options, CompileOptions):
+            raise TranspilerError(
+                f"options= expects a CompileOptions, got {type(options).__name__}"
+            )
+        adopted = {}
+        for name, value in legacy.items():
+            current = getattr(options, name)
+            if current == defaults[name]:
+                adopted[name] = value
+            elif current != value:
+                warnings.warn(
+                    f"transpile option {name!r} passed both as a legacy "
+                    f"keyword ({value!r}) and inside CompileOptions "
+                    f"({current!r}); the CompileOptions value wins -- pass "
+                    "it once, via CompileOptions",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+        return replace(options, **adopted) if adopted else options

@@ -83,8 +83,10 @@ from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.circuit.serialization import circuit_from_payload, circuit_to_payload
 from repro.transpiler.cache import AnalysisCache
 from repro.transpiler.exceptions import TranspilerError
+from repro.transpiler.options import CompileOptions, options_cache_key
 from repro.transpiler.passes import IBM_BASIS
 from repro.transpiler.passmanager import PropertySet, TranspileResult
+from repro.transpiler.result_cache import ResultCache
 from repro.transpiler.target import Target
 
 __all__ = ["CompileService", "SERVICE_MODES", "normalize_batch"]
@@ -118,6 +120,11 @@ def normalize_batch(batch: list, targets, seeds) -> tuple[list, list]:
 
 #: Key under which the job's target is recorded in result properties.
 TARGET_PROPERTY = "target"
+
+#: Result-property key marking a job served from the compiled-result
+#: cache: ``"hit"`` (exact key) or ``"template"`` (parameter re-binding).
+#: Absent on freshly-compiled results.
+CACHE_PROPERTY = "result_cache"
 
 #: FIFO caps: rebroadcast buffer entries per cache family, and rebuilt
 #: Target objects memoized per worker -- bounded like every other cache
@@ -184,6 +191,11 @@ def _service_flush(barrier_timeout: float = 2.0):
     exports what its worker holds -- best effort.  A timed-out barrier is
     left broken by the stdlib; it is reset here so the *next* flush round
     (live harvests repeat; shutdown always runs one) coordinates again.
+
+    Returns ``(worker pid, delta)`` so the parent can tell *which* worker
+    each flush drained -- :meth:`CompileService._flush_worker_deltas`
+    retries until every distinct worker has answered, instead of trusting
+    the pool to hand one flush task to each worker.
     """
     state = _WORKER_STATE
     if state is None:
@@ -200,7 +212,7 @@ def _service_flush(barrier_timeout: float = 2.0):
         except Exception:
             pass
     state["last_harvest"] = time.monotonic()
-    return state["cache"].export_snapshot(delta_only=True)
+    return os.getpid(), state["cache"].export_snapshot(delta_only=True)
 
 
 def _sanitize_properties(properties: PropertySet) -> dict:
@@ -325,50 +337,88 @@ class CompileService:
         *,
         mode: str = "process",
         max_workers: int | None = None,
-        pipeline: str = "preset",
-        optimization_level: int = 1,
+        pipeline: str | None = None,
+        optimization_level: int | None = None,
         target: Target | str | None = None,
         basis_gates=IBM_BASIS,
         initial_layout=None,
         analysis_cache: AnalysisCache | None = None,
+        result_cache: ResultCache | None | bool = None,
         snapshot_path=None,
         harvest_interval: float = 0.0,
         autosave_interval: float = 0.0,
+        options: CompileOptions | None = None,
     ):
         """Args:
             mode: ``"process"`` (default), ``"thread"`` or ``"serial"``.
             max_workers: pool width (default: CPU count - 1).
             pipeline / optimization_level / target / basis_gates /
                 initial_layout: defaults applied to submissions that do not
-                override them; ``target`` accepts a :class:`Target` or a
-                preset name (``"melbourne"``, ``"linear:5"``, ...).
+                override them (``"preset"`` / level 1 when left unset);
+                ``target`` accepts a :class:`Target` or a preset name
+                (``"melbourne"``, ``"linear:5"``, ...).
             analysis_cache: the parent cache the service warms and
                 harvests into; defaults to a fresh one.
+            result_cache: the content-addressed compiled-result cache
+                consulted before any job reaches the pool
+                (:class:`~repro.transpiler.result_cache.ResultCache`).
+                ``None`` (the default) creates a fresh one -- the service
+                caches answers out of the box; pass ``False`` to disable
+                result caching entirely, or share one cache object across
+                services.
             snapshot_path: disk location for cache persistence -- imported
                 (if present and version-compatible) at construction,
-                written back on :meth:`shutdown`.
+                written back on :meth:`shutdown`.  The result cache
+                persists alongside at ``<snapshot_path>.results``.
             harvest_interval: minimum seconds between a worker's cache
                 delta exports; 0 harvests with every job.
             autosave_interval: seconds between periodic background cache
                 snapshot saves to ``snapshot_path`` (a daemon timer; each
                 save harvests worker deltas first and writes atomically).
                 0 (the default) keeps the historical shutdown-only flush.
+            options: a :class:`~repro.transpiler.options.CompileOptions`
+                consolidating the compile knobs; individual keyword
+                arguments above are legacy spellings coerced into it
+                (:meth:`CompileOptions.coerce` -- conflicts warn, the
+                options object wins).
         """
         if mode not in SERVICE_MODES:
             raise TranspilerError(
                 f"unknown service mode {mode!r}; choose one of "
                 f"{', '.join(SERVICE_MODES)}"
             )
+        opts = CompileOptions.coerce(
+            options,
+            pipeline=pipeline,
+            optimization_level=optimization_level,
+            initial_layout=initial_layout,
+            max_workers=max_workers,
+            analysis_cache=analysis_cache,
+            result_cache=result_cache if result_cache is not False else None,
+        )
+        self.options = opts
         self.mode = mode
-        self.max_workers = max_workers
+        self.max_workers = opts.max_workers
         self.harvest_interval = float(harvest_interval)
         self.snapshot_path = snapshot_path
-        self.cache = analysis_cache if analysis_cache is not None else AnalysisCache()
+        self.cache = (
+            opts.analysis_cache if opts.analysis_cache is not None else AnalysisCache()
+        )
+        if result_cache is False or opts.result_cache is False:
+            self.result_cache: ResultCache | None = None
+        elif opts.result_cache is not None:
+            self.result_cache = opts.result_cache
+        else:
+            self.result_cache = ResultCache()
         self._defaults = {
-            "pipeline": pipeline,
-            "optimization_level": optimization_level,
-            "initial_layout": initial_layout,
-            "seed": None,
+            "pipeline": opts.pipeline if opts.pipeline is not None else "preset",
+            "optimization_level": (
+                opts.optimization_level
+                if opts.optimization_level is not None
+                else 1
+            ),
+            "initial_layout": opts.initial_layout,
+            "seed": opts.seed,
         }
         self._basis = tuple(basis_gates)
         self._default_target = (
@@ -394,9 +444,19 @@ class CompileService:
         #: all; correctness never depends on it)
         self._resync_buffer: dict | None = None
         self._resync_remaining = 0
+        self._cache_hits = 0
+        self._cache_template_hits = 0
         self._snapshot_entries_loaded = 0
+        self._result_entries_loaded = 0
+        self._result_snapshot_path = (
+            f"{snapshot_path}.results" if snapshot_path is not None else None
+        )
         if snapshot_path is not None:
             self._snapshot_entries_loaded = self.cache.load_snapshot(snapshot_path)
+            if self.result_cache is not None:
+                self._result_entries_loaded = self.result_cache.load_snapshot(
+                    self._result_snapshot_path
+                )
         self.autosave_interval = float(autosave_interval)
         if snapshot_path is not None and self.autosave_interval > 0:
             self._schedule_autosave()
@@ -548,6 +608,65 @@ class CompileService:
                 self._resync_buffer = None
             return sync
 
+    def _cache_meta(self, circuit_payload, target_payload, settings):
+        """The result-cache address of one job, or ``None`` if uncacheable.
+
+        Jobs carrying an ``initial_layout`` bypass the cache entirely
+        (layouts are mutable objects with no canonical content form).
+        """
+        if self.result_cache is None or settings.get("initial_layout") is not None:
+            return None
+        return (circuit_payload, target_payload, options_cache_key(settings))
+
+    def _cache_serve(self, meta, target: Target) -> Future | None:
+        """A pre-resolved future served from the result cache, or ``None``.
+
+        A served job never touches the pool (which may not even exist
+        yet); it still counts as submitted + completed so ``stats()``
+        arithmetic holds, plus a hit counter of its own.
+        """
+        if meta is None:
+            return None
+        found = self.result_cache.lookup(*meta)
+        if found is None:
+            return None
+        value, kind = found
+        with self._lock:
+            if self._shutdown:
+                raise TranspilerError("CompileService has been shut down")
+            self._submitted += 1
+        outer: Future = Future()
+        try:
+            result = self._result_from_payload(value, target, kind=kind)
+        except Exception as exc:  # noqa: BLE001 - corrupt entry: fail the job
+            self._fail_future(outer, exc)
+            return outer
+        with self._lock:
+            self._completed += 1
+            self._cache_hits += 1
+            if kind == "template":
+                self._cache_template_hits += 1
+        outer.set_result(result)
+        return outer
+
+    def _result_from_payload(
+        self, value: tuple, target: Target, kind: str | None = None
+    ) -> TranspileResult:
+        """Rebuild a :class:`TranspileResult` from its compact wire form."""
+        payload, metrics, loops, elapsed, props = value
+        properties = PropertySet(props)
+        properties[AnalysisCache.PROPERTY_KEY] = self.cache
+        properties[TARGET_PROPERTY] = target
+        if kind is not None:
+            properties[CACHE_PROPERTY] = kind
+        return TranspileResult(
+            circuit=circuit_from_payload(payload),
+            properties=properties,
+            metrics=metrics,
+            loops=loops,
+            time=elapsed,
+        )
+
     def _submit_chunk(self, resolved: list[tuple]) -> list[Future]:
         """Ship ``resolved`` jobs (already target/settings-resolved) as ONE
         pool task; returns one future per job.
@@ -557,18 +676,49 @@ class CompileService:
         are paid once per chunk rather than once per circuit, which is
         what lets huge batches of cheap circuits keep the pool busy
         instead of the feeder thread.
+
+        The result cache is consulted per job *before* the envelope is
+        built: served jobs come back as already-resolved futures, and a
+        chunk whose every job hits never creates the pool at all.
         """
-        payload_jobs = [
-            (circuit_to_payload(circuit), target.to_payload(), settings)
-            for circuit, target, settings in resolved
-        ]
-        targets = [target for _, target, _ in resolved]
-        return self._submit_payload_chunk(payload_jobs, targets)
+        futures: list[Future | None] = [None] * len(resolved)
+        payload_jobs: list[tuple] = []
+        targets: list[Target] = []
+        metas: list = []
+        pending: list[int] = []
+        for i, (circuit, target, settings) in enumerate(resolved):
+            circuit_payload = circuit_to_payload(circuit)
+            target_payload = target.to_payload()
+            meta = self._cache_meta(circuit_payload, target_payload, settings)
+            served = self._cache_serve(meta, target)
+            if served is not None:
+                futures[i] = served
+                continue
+            payload_jobs.append((circuit_payload, target_payload, settings))
+            targets.append(target)
+            metas.append(meta)
+            pending.append(i)
+        if payload_jobs:
+            for i, future in zip(
+                pending, self._submit_payload_chunk(payload_jobs, targets, metas)
+            ):
+                futures[i] = future
+        return futures
 
     def _submit_payload_chunk(
-        self, payload_jobs: list[tuple], targets: list[Target]
+        self,
+        payload_jobs: list[tuple],
+        targets: list[Target],
+        metas: list | None = None,
     ) -> list[Future]:
-        """Chunk submission for jobs already in compact payload form."""
+        """Chunk submission for jobs already in compact payload form.
+
+        ``metas`` carries each job's result-cache address (or ``None``
+        for uncacheable jobs) so :meth:`_finish_chunk` can populate the
+        cache when the answers come back.
+        """
+        if metas is None:
+            metas = [None] * len(payload_jobs)
         with self._lock:
             self._submitted += len(payload_jobs)
             self._chunks += 1
@@ -576,8 +726,8 @@ class CompileService:
         outers = [Future() for _ in payload_jobs]
         inner = self._submit_to_pool(_service_chunk, task)
         inner.add_done_callback(
-            lambda f, outers=outers, targets=targets: self._finish_chunk(
-                outers, targets, f
+            lambda f, outers=outers, targets=targets, metas=metas: (
+                self._finish_chunk(outers, targets, metas, f)
             )
         )
         return outers
@@ -612,16 +762,36 @@ class CompileService:
             targets.append(target)
             prepared.append((circuit_payload, target_payload, merged))
         if self.mode == "process":
-            self._ensure_pool()  # raises after shutdown; sizes chunk policy
-            chunk = self.chunk_size_for(len(prepared))
-            futures: list[Future] = []
-            for start in range(0, len(prepared), chunk):
-                futures.extend(
-                    self._submit_payload_chunk(
-                        prepared[start : start + chunk],
-                        targets[start : start + chunk],
-                    )
-                )
+            futures: list[Future | None] = [None] * len(prepared)
+            miss_jobs: list[tuple] = []
+            miss_targets: list[Target] = []
+            miss_metas: list = []
+            pending: list[int] = []
+            for i, (job, target) in enumerate(zip(prepared, targets)):
+                circuit_payload, target_payload, merged = job
+                meta = self._cache_meta(circuit_payload, target_payload, merged)
+                served = self._cache_serve(meta, target)
+                if served is not None:
+                    futures[i] = served
+                    continue
+                miss_jobs.append(job)
+                miss_targets.append(target)
+                miss_metas.append(meta)
+                pending.append(i)
+            if miss_jobs:
+                self._ensure_pool()  # raises after shutdown; sizes chunk policy
+                chunk = self.chunk_size_for(len(miss_jobs))
+                for start in range(0, len(miss_jobs), chunk):
+                    stop = start + chunk
+                    for i, future in zip(
+                        pending[start:stop],
+                        self._submit_payload_chunk(
+                            miss_jobs[start:stop],
+                            miss_targets[start:stop],
+                            miss_metas[start:stop],
+                        ),
+                    ):
+                        futures[i] = future
             return futures
         futures = []
         for (circuit_payload, _, merged), target in zip(prepared, targets):
@@ -721,7 +891,38 @@ class CompileService:
     # -- result plumbing ---------------------------------------------------
 
     def _run_local(self, circuit, target: Target, settings: dict) -> TranspileResult:
+        """Inline execution (serial/thread modes), result-cache aware.
+
+        Cacheable jobs pay one payload conversion to consult the cache;
+        on a hit the pipeline never runs, on a miss the compiled answer
+        is stored for the next identical (or parameter-varied) request.
+        """
+        meta = None
+        if self.result_cache is not None:
+            meta = self._cache_meta(
+                circuit_to_payload(circuit), target.to_payload(), settings
+            )
+            if meta is not None:
+                found = self.result_cache.lookup(*meta)
+                if found is not None:
+                    value, kind = found
+                    with self._lock:
+                        self._cache_hits += 1
+                        if kind == "template":
+                            self._cache_template_hits += 1
+                    return self._result_from_payload(value, target, kind=kind)
         result = _run_job(circuit, target, settings, self.cache)
+        if meta is not None:
+            self.result_cache.store(
+                *meta,
+                (
+                    circuit_to_payload(result.circuit),
+                    result.metrics,
+                    result.loops,
+                    result.time,
+                    _sanitize_properties(result.properties),
+                ),
+            )
         result.properties[TARGET_PROPERTY] = target
         return result
 
@@ -756,7 +957,11 @@ class CompileService:
             self._harvests += 1
 
     def _finish_chunk(
-        self, outers: list[Future], targets: list[Target], inner: Future
+        self,
+        outers: list[Future],
+        targets: list[Target],
+        metas: list,
+        inner: Future,
     ) -> None:
         """Scatter one chunk task's outcomes onto its per-job futures."""
         try:
@@ -776,7 +981,7 @@ class CompileService:
             for outer in outers:
                 self._fail_future(outer, error)
             return
-        for outer, target, outcome in zip(outers, targets, outcomes):
+        for outer, target, meta, outcome in zip(outers, targets, metas, outcomes):
             # per-job isolation holds on the parent side too: a payload
             # that fails to rebuild (or an outer future the caller
             # cancelled, making set_result raise) must not abandon the
@@ -786,20 +991,14 @@ class CompileService:
                 if status != "ok":
                     self._fail_future(outer, value)
                     continue
-                payload, metrics, loops, elapsed, props = value
-                properties = PropertySet(props)
-                properties[AnalysisCache.PROPERTY_KEY] = self.cache
-                properties[TARGET_PROPERTY] = target
-                result = TranspileResult(
-                    circuit=circuit_from_payload(payload),
-                    properties=properties,
-                    metrics=metrics,
-                    loops=loops,
-                    time=elapsed,
-                )
+                result = self._result_from_payload(value, target)
             except BaseException as exc:  # noqa: BLE001 - relayed per job
                 self._fail_future(outer, exc)
                 continue
+            if meta is not None and self.result_cache is not None:
+                # populate only after the payload proved rebuildable, so a
+                # malformed result can never be served from the cache
+                self.result_cache.store(*meta, value)
             with self._lock:
                 self._completed += 1
             try:
@@ -828,6 +1027,8 @@ class CompileService:
         if path is None:
             return None
         self.cache.save(path)
+        if self.result_cache is not None:
+            self.result_cache.save(f"{path}.results")
         return str(path)
 
     def harvest_now(self) -> int:
@@ -887,22 +1088,50 @@ class CompileService:
         miss them.  ``barrier_timeout`` bounds how long a flush task may
         idle a worker waiting for its peers -- shutdown affords the full
         wait, live harvests (autosave ticks) pass a short one.
+
+        Flush results carry the responding worker's pid, and rounds
+        retry until every distinct worker answered (or a round makes no
+        progress): the pool does not promise one flush task per worker,
+        and under uneven pickup -- one worker grabbing two flushes while
+        another finishes a job -- a single round can silently drop the
+        busy worker's delta.  That is exactly the ``map()`` +
+        immediate ``shutdown()`` hazard: the final batch's entries sit
+        with a worker that never sees a flush task, and the snapshot
+        saved at shutdown misses them.
         """
-        try:
-            futures = [
-                pool.submit(_service_flush, barrier_timeout) for _ in range(workers)
-            ]
-        except RuntimeError:  # pool already torn down elsewhere
-            return
-        for future in futures:
+        flushed: set[int] = set()
+        for round_index in range(3):
+            remaining = workers - len(flushed)
+            if remaining <= 0:
+                return
+            # first round gets the caller's barrier budget; retry rounds
+            # submit fewer tasks than the barrier has parties, so waiting
+            # on it would only stall -- use a token timeout instead
+            timeout = barrier_timeout if round_index == 0 else 0.25
             try:
-                delta = future.result(timeout=10.0)
-            except Exception:
-                continue  # flush is best-effort; shutdown must not fail
-            if delta:
-                with self._lock:
-                    self.cache.import_snapshot(delta)
-                    self._harvests += 1
+                futures = [
+                    pool.submit(_service_flush, timeout) for _ in range(remaining)
+                ]
+            except RuntimeError:  # pool already torn down elsewhere
+                return
+            progress = False
+            for future in futures:
+                try:
+                    outcome = future.result(timeout=10.0)
+                except Exception:
+                    continue  # flush is best-effort; shutdown must not fail
+                if outcome is None:
+                    continue
+                pid, delta = outcome
+                fresh = pid not in flushed
+                flushed.add(pid)
+                progress = progress or fresh
+                if delta and fresh:
+                    with self._lock:
+                        self.cache.import_snapshot(delta)
+                        self._harvests += 1
+            if not progress:
+                return  # stuck worker (mid-job > timeout); stay best-effort
 
     def shutdown(self, wait: bool = True, save: bool = True) -> None:
         """Drain the pool and (by default) persist the cache snapshot.
@@ -952,6 +1181,12 @@ class CompileService:
             "cache_matrices": len(self.cache._matrices),
             "cache_requests": self.cache.matrix_requests,
             "cache_constructions": self.cache.matrix_constructions,
+            "result_cache_hits": self._cache_hits,
+            "result_cache_template_hits": self._cache_template_hits,
+            "result_entries_loaded": self._result_entries_loaded,
+            "result_cache": (
+                self.result_cache.stats() if self.result_cache is not None else None
+            ),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -973,8 +1208,13 @@ def transpile_batch(
     initial_layout,
     cache: AnalysisCache,
     max_workers: int | None,
+    result_cache: ResultCache | None = None,
 ) -> list[TranspileResult]:
-    """One batch through a short-lived service (the ``transpile()`` path)."""
+    """One batch through a short-lived service (the ``transpile()`` path).
+
+    A fresh result cache cannot help a one-shot batch, so caching is off
+    unless the caller passes a (shared, long-lived) ``result_cache``.
+    """
     service = CompileService(
         mode=mode,
         max_workers=default_workers(len(batch), max_workers),
@@ -982,6 +1222,7 @@ def transpile_batch(
         optimization_level=optimization_level,
         initial_layout=initial_layout,
         analysis_cache=cache,
+        result_cache=result_cache if result_cache is not None else False,
     )
     try:
         return service.map(batch, targets=targets, seeds=seeds)

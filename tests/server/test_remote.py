@@ -398,3 +398,155 @@ class TestServerLifecycle:
         with CompileService(mode="serial") as service:
             with pytest.raises(TranspilerError, match="not both"):
                 CompileServer(service, pipeline="rpo")
+
+
+class TestResultCacheOverWire:
+    """Protocol-v2 result-cache surfaces: the ``X-Repro-Cache-Hits``
+    response header, ``GET /cache/<fingerprint>`` peer lookups, and the
+    ``result_cache`` section of ``/metrics``."""
+
+    def _fresh_batch(self, n=3):
+        rng = np.random.default_rng(23)
+        return [
+            ry_ansatz(3, depth=2, parameters=rng.uniform(0, 2 * np.pi, (3, 3)))
+            for _ in range(n)
+        ]
+
+    def test_repeat_batch_reports_hits_in_header_and_metrics(self, remote):
+        batch = self._fresh_batch()
+        seeds = [101] * len(batch)
+        before = remote.stats()["client"]["remote_cache_hits"]
+        first = remote.map(
+            [c.copy() for c in batch], targets="melbourne", seeds=seeds,
+            pipeline="rpo",
+        )
+        second = remote.map(
+            [c.copy() for c in batch], targets="melbourne", seeds=seeds,
+            pipeline="rpo",
+        )
+        stats = remote.stats()
+        assert (
+            stats["client"]["remote_cache_hits"] - before >= len(batch)
+        )  # counted from the response header
+        cache_stats = stats["result_cache"]
+        assert cache_stats is not None
+        assert cache_stats["hits"] >= len(batch)
+        for a, b in zip(first, second):
+            _assert_identical(a.circuit, b.circuit)
+
+    def test_cache_lookup_round_trip_and_miss(self, remote):
+        from repro.circuit.serialization import circuit_to_payload
+        from repro.transpiler.result_cache import job_fingerprint
+
+        circuit = self._fresh_batch(1)[0]
+        # peer fingerprints only line up when the cache-key settings are
+        # explicit (a server would otherwise fill its own defaults in)
+        remote.map([circuit.copy()], targets="melbourne", seeds=[202],
+                   pipeline="rpo", optimization_level=1)
+        fingerprint = job_fingerprint(
+            circuit_to_payload(circuit),
+            Target.preset("melbourne").to_payload(),
+            ("rpo", 1, 202),
+        )
+        payload = remote.cache_lookup(fingerprint)
+        assert payload is not None  # served straight from the peer cache
+        assert remote.cache_lookup("0" * 64) is None  # miss is a clean 404
+
+    def test_client_options_object_supplies_defaults(self, server):
+        from repro.transpiler import CompileOptions
+
+        circuit = quantum_phase_estimation(3)
+        reference = transpile(
+            circuit.copy(), target="melbourne", pipeline="rpo", seed=5
+        )
+        options = CompileOptions(pipeline="rpo", seed=5)
+        with RemoteCompileService(server.endpoint, options=options) as client:
+            results = client.map([circuit.copy()], targets="melbourne")
+        _assert_identical(reference, results[0].circuit)
+
+    def test_endpoint_alone_implies_remote_executor(self, server):
+        circuit = quantum_phase_estimation(3)
+        reference = transpile(
+            circuit.copy(), target="melbourne", pipeline="rpo", seed=0
+        )
+        via_endpoint = transpile(
+            circuit.copy(),
+            target="melbourne",
+            pipeline="rpo",
+            seed=0,
+            endpoint=server.endpoint,  # no executor= needed
+        )
+        _assert_identical(reference, via_endpoint)
+
+
+class TestPeerCacheLookup:
+    def test_router_serves_from_a_peer_shards_cache(self):
+        """A job already compiled on shard A must not recompile when the
+        router's affinity sends it to shard B: B's miss is answered by
+        the peer lookup against A before any dispatch."""
+        rng = np.random.default_rng(31)
+        batch = [
+            ry_ansatz(3, depth=2, parameters=rng.uniform(0, 2 * np.pi, (3, 3)))
+            for _ in range(4)
+        ]
+        seeds = list(range(4))
+        target = Target.preset("melbourne")
+        reference = transpile(
+            [c.copy() for c in batch],
+            target="melbourne",
+            pipeline="rpo",
+            seed=seeds,
+            optimization_level=1,
+            executor="serial",
+        )
+        with CompileServer(mode="serial", pipeline="rpo") as s1, CompileServer(
+            mode="serial", pipeline="rpo"
+        ) as s2:
+            s1.start()
+            s2.start()
+            endpoints = [s1.endpoint, s2.endpoint]
+            with ShardRouter(endpoints) as router:
+                routed = router.route(target)
+                warm_endpoint = endpoints[1 - routed]
+                with RemoteCompileService(warm_endpoint) as warmer:
+                    warmer.map(
+                        [c.copy() for c in batch],
+                        targets="melbourne",
+                        seeds=seeds,
+                        pipeline="rpo",
+                        optimization_level=1,
+                    )
+                results = router.map(
+                    [c.copy() for c in batch],
+                    targets="melbourne",
+                    seeds=seeds,
+                    pipeline="rpo",
+                    optimization_level=1,
+                )
+                stats = router.stats()
+        assert stats["peer_cache"]["enabled"]
+        assert stats["peer_cache"]["hits"] == len(batch)
+        for expected, result in zip(reference, results):
+            _assert_identical(expected, result.circuit)
+            assert result.properties["result_cache"] == "peer"
+            assert result.properties["shard"] == warm_endpoint
+
+    def test_peer_lookup_can_be_disabled(self):
+        with CompileServer(mode="serial", pipeline="rpo") as s1, CompileServer(
+            mode="serial", pipeline="rpo"
+        ) as s2:
+            s1.start()
+            s2.start()
+            with ShardRouter(
+                [s1.endpoint, s2.endpoint], peer_cache=False
+            ) as router:
+                router.map(
+                    [quantum_phase_estimation(3)],
+                    targets="melbourne",
+                    seeds=[0],
+                    pipeline="rpo",
+                    optimization_level=1,
+                )
+                stats = router.stats()
+        assert not stats["peer_cache"]["enabled"]
+        assert stats["peer_cache"]["lookups"] == 0

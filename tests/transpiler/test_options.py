@@ -1,0 +1,159 @@
+"""``CompileOptions``: the consolidated compile-knob value object.
+
+The contract: one frozen hashable object every entry point accepts;
+legacy keyword arguments coerce into it (one code path); naming the same
+knob twice with different values earns a ``DeprecationWarning`` and the
+options object wins; only semantic fields (what circuit comes out) take
+part in equality/hashing, so execution knobs never split cache entries.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.transpiler import CompileOptions, Target, TranspilerError, transpile
+from repro.transpiler.options import options_cache_key
+
+
+class TestValueObject:
+    def test_frozen(self):
+        options = CompileOptions(pipeline="rpo")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.pipeline = "preset"
+
+    def test_equality_and_hash_are_semantic_only(self):
+        fast = CompileOptions(pipeline="rpo", optimization_level=2, seed=7)
+        slow = CompileOptions(
+            pipeline="rpo",
+            optimization_level=2,
+            seed=7,
+            executor="process",
+            max_workers=16,
+            full_result=True,
+        )
+        assert fast == slow
+        assert hash(fast) == hash(slow)
+        assert fast != CompileOptions(pipeline="rpo", optimization_level=3, seed=7)
+
+    def test_seed_sequence_becomes_hashable(self):
+        options = CompileOptions(seed=[1, 2, 3])
+        assert options.seed == (1, 2, 3)
+        hash(options)  # must not raise
+
+    def test_cache_key_matches_settings_projection(self):
+        options = CompileOptions(pipeline="preset", optimization_level=1, seed=5)
+        settings = {"pipeline": "preset", "optimization_level": 1, "seed": 5}
+        assert options.cache_key() == options_cache_key(settings)
+
+
+class TestCoercion:
+    def test_legacy_kwargs_populate_fresh_object(self):
+        options = CompileOptions.coerce(None, pipeline="rpo", seed=3)
+        assert options == CompileOptions(pipeline="rpo", seed=3)
+
+    def test_unknown_kwarg_is_an_error(self):
+        with pytest.raises(TranspilerError, match="unknown compile option"):
+            CompileOptions.coerce(None, optimisation_level=1)
+
+    def test_quiet_adoption_when_options_field_is_default(self):
+        base = CompileOptions(pipeline="rpo")
+        merged = CompileOptions.coerce(base, optimization_level=2)
+        assert merged.pipeline == "rpo"
+        assert merged.optimization_level == 2
+
+    def test_conflict_warns_and_options_wins(self):
+        base = CompileOptions(optimization_level=3)
+        with pytest.warns(DeprecationWarning, match="optimization_level"):
+            merged = CompileOptions.coerce(base, optimization_level=1)
+        assert merged.optimization_level == 3
+
+    def test_agreeing_duplicate_is_silent(self):
+        base = CompileOptions(pipeline="rpo")
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            merged = CompileOptions.coerce(base, pipeline="rpo")
+        assert merged.pipeline == "rpo"
+
+    def test_non_options_object_rejected(self):
+        with pytest.raises(TranspilerError, match="CompileOptions"):
+            CompileOptions.coerce({"pipeline": "rpo"})
+
+
+class TestFrontendIntegration:
+    def _bell(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        return circuit
+
+    def test_options_object_equals_legacy_kwargs(self):
+        target = Target.preset("linear:2")
+        legacy = transpile(
+            [self._bell()], target=target, pipeline="preset", optimization_level=1
+        )[0]
+        via_options = transpile(
+            [self._bell()],
+            target=target,
+            options=CompileOptions(pipeline="preset", optimization_level=1),
+        )[0]
+        assert len(legacy.data) == len(via_options.data)
+        for inst_a, inst_b in zip(legacy.data, via_options.data):
+            assert inst_a.operation.name == inst_b.operation.name
+            assert list(inst_a.operation.params) == list(inst_b.operation.params)
+
+    def test_frontend_conflict_warns(self):
+        target = Target.preset("linear:2")
+        with pytest.warns(DeprecationWarning, match="optimization_level"):
+            transpile(
+                [self._bell()],
+                target=target,
+                optimization_level=1,
+                options=CompileOptions(pipeline="preset", optimization_level=2),
+            )
+
+    def test_service_and_endpoint_are_exclusive(self):
+        from repro.transpiler import CompileService
+
+        with CompileService(mode="serial") as service:
+            with pytest.raises(TranspilerError, match="not both"):
+                transpile(
+                    [self._bell()],
+                    service=service,
+                    endpoint="http://localhost:1",
+                )
+
+    def test_endpoint_contradicting_executor_is_an_error(self):
+        with pytest.raises(TranspilerError, match="remote"):
+            transpile(
+                [self._bell()], executor="serial", endpoint="http://localhost:1"
+            )
+
+
+class TestServiceIntegration:
+    def test_service_accepts_options_object(self):
+        from repro.transpiler import CompileService
+
+        options = CompileOptions(pipeline="preset", optimization_level=0)
+        with CompileService(mode="serial", options=options) as service:
+            result = service.submit(
+                QuantumCircuit(2), target=Target.preset("linear:2")
+            ).result()
+        assert result is not None
+        assert service.options.pipeline == "preset"
+        assert service.options.optimization_level == 0
+
+    def test_service_conflict_warns_and_options_wins(self):
+        from repro.transpiler import CompileService
+
+        options = CompileOptions(optimization_level=2)
+        with pytest.warns(DeprecationWarning, match="optimization_level"):
+            service = CompileService(
+                mode="serial", optimization_level=1, options=options
+            )
+        try:
+            assert service.options.optimization_level == 2
+        finally:
+            service.shutdown()

@@ -1,0 +1,368 @@
+"""The compiled-result cache: exact hits, template re-binding, eviction,
+snapshots, and the concurrency contract.
+
+Correctness bar (the PR's acceptance): an exact hit is **bit-identical**
+to the compile it replays; a template hit (same ansatz, different
+parameters) is gate-exact -- same gate sequence on the same qubits,
+rotation angles exact, phase-class angles exact modulo 2*pi.  Global
+phase on template hits is best-effort only (the optimizer's Euler folds
+move pi in and out of the global phase, which no per-gate record can
+reconstruct -- and which no measurement can observe).
+"""
+
+import math
+import threading
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ry_ansatz
+from repro.circuit import QuantumCircuit
+from repro.circuit.serialization import circuit_to_payload
+from repro.transpiler import CompileService, ResultCache, Target
+from repro.transpiler.result_cache import job_fingerprint
+
+TWO_PI = 2.0 * math.pi
+
+
+def _mod_close(a, b, tol=1e-8):
+    diff = (float(a) - float(b)) % TWO_PI
+    return diff < tol or TWO_PI - diff < tol
+
+
+def _assert_gate_exact(served: QuantumCircuit, fresh: QuantumCircuit):
+    """Template-hit contract: identical structure, angles exact mod 2*pi."""
+    assert len(served.data) == len(fresh.data)
+    for inst_s, inst_f in zip(served.data, fresh.data):
+        assert inst_s.operation.name == inst_f.operation.name
+        assert inst_s.qubits == inst_f.qubits
+        assert inst_s.clbits == inst_f.clbits
+        params_s = inst_s.operation.params
+        params_f = inst_f.operation.params
+        assert len(params_s) == len(params_f)
+        for a, b in zip(params_s, params_f):
+            assert _mod_close(a, b), (inst_s.operation.name, a, b)
+
+
+def _assert_bit_identical(served: QuantumCircuit, fresh: QuantumCircuit):
+    assert served.global_phase == fresh.global_phase
+    assert len(served.data) == len(fresh.data)
+    for inst_s, inst_f in zip(served.data, fresh.data):
+        assert inst_s.operation.name == inst_f.operation.name
+        assert inst_s.qubits == inst_f.qubits
+        assert list(inst_s.operation.params) == list(inst_f.operation.params)
+
+
+def _ansatz(params):
+    return ry_ansatz(4, depth=2, parameters=np.asarray(params).reshape(3, 4))
+
+
+def _random_params(seed):
+    return np.random.default_rng(seed).uniform(0.1, TWO_PI - 0.1, 12)
+
+
+OPTIONS_KEY = ("preset", 1, None)
+
+
+def _job(circuit, target):
+    return (circuit_to_payload(circuit), target.to_payload(), OPTIONS_KEY)
+
+
+@pytest.fixture(scope="module")
+def target():
+    return Target.preset("linear:4")
+
+
+def _compile_once(circuit, target):
+    """One cold compile; returns (service-independent) result payload."""
+    with CompileService(
+        mode="serial", pipeline="preset", optimization_level=1, result_cache=False
+    ) as service:
+        return service.submit(circuit, target=target).result()
+
+
+class TestExactEntries:
+    def test_miss_then_hit(self, target):
+        cache = ResultCache()
+        circuit = _ansatz(_random_params(0))
+        assert cache.lookup(*_job(circuit, target)) is None
+        with CompileService(
+            mode="serial",
+            pipeline="preset",
+            optimization_level=1,
+            result_cache=cache,
+        ) as service:
+            first = service.submit(circuit, target=target).result()
+            second = service.submit(circuit, target=target).result()
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] >= 1
+        _assert_bit_identical(second.circuit, first.circuit)
+
+    def test_hit_serves_under_requesters_name(self, target):
+        """Content addressing ignores names: an identical circuit under a
+        different label hits, and the served result carries *its* label."""
+        cache = ResultCache()
+        params = _random_params(1)
+        original = _ansatz(params)
+        renamed = _ansatz(params)
+        renamed.name = "somebody-else"
+        with CompileService(
+            mode="serial",
+            pipeline="preset",
+            optimization_level=1,
+            result_cache=cache,
+        ) as service:
+            service.submit(original, target=target).result()
+            served = service.submit(renamed, target=target).result()
+        assert cache.stats()["hits"] == 1
+        assert served.circuit.name == "somebody-else"
+
+    def test_options_key_separates_entries(self, target):
+        """Same circuit, different optimization level: different entry."""
+        cache = ResultCache()
+        circuit = _ansatz(_random_params(2))
+        payload = circuit_to_payload(circuit)
+        tp = target.to_payload()
+        result = ("payload-stand-in", {}, {}, 0.0, {})
+        cache.store(payload, tp, ("preset", 1, None), result)
+        assert cache.lookup(payload, tp, ("preset", 3, None)) is None
+        assert cache.lookup(payload, tp, ("preset", 1, 7)) is None
+        assert cache.lookup(payload, tp, ("preset", 1, None)) is not None
+
+    def test_target_separates_entries(self):
+        cache = ResultCache()
+        circuit = _ansatz(_random_params(3))
+        payload = circuit_to_payload(circuit)
+        result = ("payload-stand-in", {}, {}, 0.0, {})
+        cache.store(payload, Target.preset("linear:4").to_payload(), OPTIONS_KEY, result)
+        assert (
+            cache.lookup(payload, Target.preset("ring:4").to_payload(), OPTIONS_KEY)
+            is None
+        )
+
+
+class TestTemplateRebinding:
+    def test_learns_after_two_samples_then_serves(self, target):
+        cache = ResultCache()
+        with CompileService(
+            mode="serial",
+            pipeline="preset",
+            optimization_level=1,
+            result_cache=cache,
+        ) as service:
+            for seed in range(5):
+                service.submit(_ansatz(_random_params(seed)), target=target).result()
+        stats = cache.stats()
+        assert stats["template_learned"] == 1
+        assert stats["template_hits"] == 3
+        assert stats["template_unbindable"] == 0
+
+    def test_template_hit_is_gate_exact_vs_cold_compile(self, target):
+        cache = ResultCache()
+        with CompileService(
+            mode="serial",
+            pipeline="preset",
+            optimization_level=1,
+            result_cache=cache,
+        ) as service:
+            service.submit(_ansatz(_random_params(10)), target=target).result()
+            service.submit(_ansatz(_random_params(11)), target=target).result()
+            probe = _ansatz(_random_params(12))
+            warm = service.submit(probe, target=target).result()
+        assert cache.stats()["template_hits"] == 1
+        cold = _compile_once(probe, target)
+        _assert_gate_exact(warm.circuit, cold.circuit)
+
+    def test_template_hits_promote_to_exact_entries(self, target):
+        """A rebound serve becomes a first-class exact entry, so repeats
+        skip the re-binding math and peers can find it by fingerprint."""
+        cache = ResultCache()
+        probe = _ansatz(_random_params(22))
+        with CompileService(
+            mode="serial",
+            pipeline="preset",
+            optimization_level=1,
+            result_cache=cache,
+        ) as service:
+            service.submit(_ansatz(_random_params(20)), target=target).result()
+            service.submit(_ansatz(_random_params(21)), target=target).result()
+            service.submit(probe, target=target).result()
+            service.submit(probe, target=target).result()
+        stats = cache.stats()
+        assert stats["template_hits"] == 1
+        assert stats["hits"] == 1  # the repeat came from the exact table
+
+    def test_different_structure_never_templates(self, target):
+        """Depth-2 and depth-3 ansaetze share no template."""
+        cache = ResultCache()
+        with CompileService(
+            mode="serial",
+            pipeline="preset",
+            optimization_level=1,
+            result_cache=cache,
+        ) as service:
+            service.submit(_ansatz(_random_params(0)), target=target).result()
+            deeper = ry_ansatz(
+                4, depth=3, parameters=_random_params(1)[:12].reshape(3, 4)[[0, 1, 2, 2]]
+            )
+            service.submit(deeper, target=target).result()
+        assert cache.stats()["template_hits"] == 0
+
+
+class TestEviction:
+    def test_lru_bound_holds(self, target):
+        cache = ResultCache(max_entries=2)
+        tp = target.to_payload()
+        for seed in range(4):
+            payload = circuit_to_payload(_ansatz(_random_params(seed)))
+            cache.store(payload, tp, OPTIONS_KEY, (f"r{seed}", {}, {}, 0.0, {}))
+        stats = cache.stats()
+        assert stats["entries"] <= 2
+        assert stats["evictions_lru"] >= 2
+
+    def test_ttl_expires_entries(self, target):
+        cache = ResultCache(ttl=0.02)
+        circuit = _ansatz(_random_params(0))
+        job = _job(circuit, target)
+        cache.store(*job, ("r", {}, {}, 0.0, {}))
+        assert cache.lookup(*job) is not None
+        time.sleep(0.05)
+        assert cache.lookup(*job) is None
+        assert cache.stats()["evictions_ttl"] >= 1
+
+
+class TestSnapshots:
+    def test_roundtrip_preserves_entries_and_templates(self, tmp_path, target):
+        cache = ResultCache()
+        with CompileService(
+            mode="serial",
+            pipeline="preset",
+            optimization_level=1,
+            result_cache=cache,
+        ) as service:
+            for seed in range(3):
+                service.submit(_ansatz(_random_params(seed)), target=target).result()
+        path = tmp_path / "results.snap"
+        cache.save(path)
+
+        reborn = ResultCache()
+        reborn.load_snapshot(path)
+        stats = reborn.stats()
+        assert stats["entries"] == cache.stats()["entries"]
+        assert stats["templates_ready"] == 1
+        # the reloaded template still serves parameter-varied circuits
+        with CompileService(
+            mode="serial",
+            pipeline="preset",
+            optimization_level=1,
+            result_cache=reborn,
+        ) as service:
+            service.submit(_ansatz(_random_params(99)), target=target).result()
+        assert reborn.stats()["template_hits"] == 1
+
+    def test_foreign_version_snapshot_is_skipped_not_fatal(self, tmp_path):
+        cache = ResultCache()
+        snapshot = cache.export_snapshot()
+        snapshot["version"] = 999
+        fresh = ResultCache()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fresh.import_snapshot(snapshot)
+        assert fresh.snapshot_skipped is not None
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        assert len(fresh) == 0
+
+
+class TestPeerLookup:
+    def test_fingerprint_round_trip(self, target):
+        cache = ResultCache()
+        circuit = _ansatz(_random_params(5))
+        job = _job(circuit, target)
+        cache.store(*job, ("r", {}, {}, 0.0, {}))
+        fingerprint = job_fingerprint(*job)
+        assert fingerprint is not None
+        assert cache.lookup_fingerprint(fingerprint) is not None
+        assert cache.lookup_fingerprint("0" * 64) is None
+        stats = cache.stats()
+        assert stats["peer_hits"] == 1
+        assert stats["peer_misses"] == 1
+
+
+class TestConcurrency:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seeds=st.lists(st.integers(min_value=0, max_value=3), min_size=8, max_size=16),
+        threads=st.integers(min_value=2, max_value=6),
+    )
+    def test_hammered_submit_stays_consistent(self, seeds, threads):
+        """Many threads, duplicate + parameter-varied circuits: every
+        answer matches a cold compile, counters add up, bounds hold."""
+        target = Target.preset("linear:4")
+        cache = ResultCache(max_entries=64)
+        circuits = {seed: _ansatz(_random_params(seed)) for seed in set(seeds)}
+        with CompileService(
+            mode="serial",
+            pipeline="preset",
+            optimization_level=1,
+            result_cache=cache,
+        ) as service:
+
+            def one(seed):
+                return service.submit(circuits[seed], target=target).result()
+
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                results = list(pool.map(one, seeds))
+
+        cold = {
+            seed: _compile_once(circuit, target)
+            for seed, circuit in circuits.items()
+        }
+        for seed, result in zip(seeds, results):
+            _assert_gate_exact(result.circuit, cold[seed].circuit)
+
+        stats = cache.stats()
+        # every submission either hit (exact or template) or compiled+stored
+        assert stats["hits"] + stats["template_hits"] + stats["stores"] >= len(seeds)
+        assert stats["entries"] <= 64
+        # duplicates beyond the first of each distinct circuit are hits
+        assert stats["hits"] + stats["template_hits"] >= len(seeds) - len(circuits)
+
+    def test_concurrent_stores_and_lookups_no_corruption(self, target):
+        cache = ResultCache(max_entries=8)
+        tp = target.to_payload()
+        payloads = [
+            circuit_to_payload(_ansatz(_random_params(seed))) for seed in range(16)
+        ]
+        stop = threading.Event()
+        errors = []
+
+        def stormer(offset):
+            try:
+                i = offset
+                while not stop.is_set():
+                    payload = payloads[i % len(payloads)]
+                    cache.store(payload, tp, OPTIONS_KEY, (f"r{i}", {}, {}, 0.0, {}))
+                    cache.lookup(payload, tp, OPTIONS_KEY)
+                    i += 1
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        workers = [threading.Thread(target=stormer, args=(k,)) for k in range(4)]
+        for worker in workers:
+            worker.start()
+        time.sleep(0.3)
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=5.0)
+        assert not errors
+        assert cache.stats()["entries"] <= 8

@@ -241,9 +241,11 @@ class TestCacheHarvesting:
 
     def test_harvested_entries_rebroadcast_to_workers(self, melbourne):
         """One worker's discoveries must reach the other live workers: a
-        second batch's jobs carry the entries harvested from the first."""
+        second batch's jobs carry the entries harvested from the first.
+        Result caching is off so the repeat batch actually reaches the
+        pool instead of being served from the compiled-result cache."""
         with CompileService(
-            mode="process", pipeline="rpo", max_workers=2
+            mode="process", pipeline="rpo", max_workers=2, result_cache=False
         ) as service:
             service.map(
                 [quantum_phase_estimation(3) for _ in range(2)],
@@ -515,11 +517,15 @@ class TestSnapshotPersistence:
         batch = self._batch()
         target = melbourne.target()
 
+        # result caching off: the point here is the *analysis* cache
+        # snapshot, so the warm run's jobs must actually compile instead
+        # of being served whole from the result snapshot
         cold_cache = AnalysisCache()
         with CompileService(
             mode="serial",
             pipeline="rpo",
             analysis_cache=cold_cache,
+            result_cache=False,
             snapshot_path=path,
         ) as service:
             service.map([c.copy() for c in batch], targets=target, seeds=[0, 1])
@@ -530,6 +536,7 @@ class TestSnapshotPersistence:
             mode="serial",
             pipeline="rpo",
             analysis_cache=warm_cache,
+            result_cache=False,
             snapshot_path=path,
         )
         assert warm.stats()["snapshot_entries_loaded"] > 0
@@ -554,3 +561,123 @@ class TestSnapshotPersistence:
         service = CompileService(mode="serial")
         assert service.save_snapshot() is None
         service.shutdown()
+
+
+class TestShutdownFlush:
+    """Regression: ``map()`` followed by an immediate ``shutdown()`` must
+    not drop the final batch's worker cache deltas.
+
+    Under throttled harvesting (``harvest_interval > 0``) the last jobs'
+    analysis entries sit worker-side; the shutdown-time flush rounds have
+    to reach *every* worker (pid-deduplicated, retried) before the pool
+    closes, or the persisted snapshot silently misses them.
+    """
+
+    def test_map_then_immediate_shutdown_persists_worker_deltas(
+        self, tmp_path, melbourne
+    ):
+        path = tmp_path / "flush.snap"
+        batch = [ry_ansatz(3, depth=2, seed=s) for s in range(6)]
+        service = CompileService(
+            mode="process",
+            pipeline="level1",
+            max_workers=2,
+            snapshot_path=path,
+            harvest_interval=3600.0,  # nothing ships until the flush
+        )
+        service.map(batch, targets=melbourne.target(), seeds=list(range(6)))
+        service.shutdown()  # immediately: the flush must do the harvest
+
+        reborn = CompileService(mode="serial", snapshot_path=path)
+        try:
+            assert reborn.stats()["snapshot_entries_loaded"] > 0
+        finally:
+            reborn.shutdown(save=False)
+
+
+class TestServiceResultCache:
+    def _batch(self, n=4):
+        rng = np.random.default_rng(5)
+        return [
+            ry_ansatz(3, depth=2, parameters=rng.uniform(0, 2 * np.pi, (3, 3)))
+            for _ in range(n)
+        ]
+
+    def test_warm_repeat_batch_is_served_without_pool_jobs(self, melbourne):
+        """The acceptance check: a repeated batch through a warm service
+        returns bit-identical circuits with zero jobs reaching the pool."""
+        batch = self._batch()
+        with CompileService(
+            mode="process", pipeline="level1", max_workers=2
+        ) as service:
+            first = service.map(batch, targets=melbourne.target(), seeds=[0] * 4)
+            chunks_cold = service.stats()["chunks"]
+            second = service.map(batch, targets=melbourne.target(), seeds=[0] * 4)
+            stats = service.stats()
+        assert stats["chunks"] == chunks_cold  # zero new pool traffic
+        assert stats["result_cache_hits"] == 4
+        for a, b in zip(first, second):
+            assert a.circuit.global_phase == b.circuit.global_phase
+            assert len(a.circuit.data) == len(b.circuit.data)
+            for inst_a, inst_b in zip(a.circuit.data, b.circuit.data):
+                assert inst_a.operation.name == inst_b.operation.name
+                assert list(inst_a.operation.params) == list(inst_b.operation.params)
+
+    def test_all_hit_batch_never_creates_the_pool(self, melbourne):
+        batch = self._batch()
+        cache = None
+        with CompileService(mode="serial", pipeline="level1") as warmer:
+            warmer.map(batch, targets=melbourne.target(), seeds=[0] * 4)
+            cache = warmer.result_cache
+        with CompileService(
+            mode="process", pipeline="level1", result_cache=cache
+        ) as service:
+            service.map(batch, targets=melbourne.target(), seeds=[0] * 4)
+            stats = service.stats()
+            assert stats["result_cache_hits"] == 4
+            assert stats["chunks"] == 0
+            assert service._pool is None  # never even constructed
+
+    def test_result_cache_disabled_with_false(self, melbourne):
+        batch = self._batch(2)
+        with CompileService(
+            mode="serial", pipeline="level1", result_cache=False
+        ) as service:
+            service.map(batch, targets=melbourne.target(), seeds=[0, 0])
+            service.map(batch, targets=melbourne.target(), seeds=[0, 0])
+            stats = service.stats()
+        assert service.result_cache is None
+        assert stats["result_cache_hits"] == 0
+        assert stats["result_cache"] is None
+
+    def test_initial_layout_jobs_bypass_the_cache(self, melbourne):
+        from repro.transpiler import Layout
+
+        batch = self._batch(1)
+        layout = Layout({0: 0, 1: 1, 2: 2})
+        with CompileService(mode="serial", pipeline="level1") as service:
+            service.map(
+                batch, targets=melbourne.target(), seeds=[0], initial_layout=layout
+            )
+            service.map(
+                batch, targets=melbourne.target(), seeds=[0], initial_layout=layout
+            )
+            stats = service.stats()
+        assert stats["result_cache_hits"] == 0
+
+    def test_snapshot_path_persists_result_cache_alongside(self, tmp_path, melbourne):
+        path = tmp_path / "svc.snap"
+        batch = self._batch()
+        with CompileService(
+            mode="serial", pipeline="level1", snapshot_path=path
+        ) as service:
+            service.map(batch, targets=melbourne.target(), seeds=[0] * 4)
+        assert (tmp_path / "svc.snap.results").exists()
+
+        reborn = CompileService(mode="serial", pipeline="level1", snapshot_path=path)
+        try:
+            assert reborn.stats()["result_entries_loaded"] > 0
+            reborn.map(batch, targets=melbourne.target(), seeds=[0] * 4)
+            assert reborn.stats()["result_cache_hits"] == 4
+        finally:
+            reborn.shutdown(save=False)
