@@ -22,8 +22,13 @@ of the structural key, so every iteration lands on one template entry.
 Serving from a template requires knowing how the *output* angles depend
 on the *input* angles, which the cache **learns from observation** rather
 than assuming: the first compile of a template records the input/output
-pair; the second compile with different angles yields a second pair, and
-the two samples are solved per output slot for a relation of the form
+pair; a later compile in which **every** rotation angle differs from
+the first sample yields a usable second pair (pairs that move only some
+inputs are deferred -- an unmoved input cannot be implicated, so
+learning from such a pair would bake its value into the map; the
+global-phase input alone may stay tied, which pins template serves to
+that phase), and the
+two samples are solved per output slot for a relation of the form
 ``out = s * theta[i] + c`` with ``s`` drawn from a small discrete set
 (+-1, +-1/2, +-2 -- the scales the standard decompositions produce).  A
 slot that fits no single-input relation (an Euler merge mixing several
@@ -261,7 +266,9 @@ def _derive_map(params0, result0, params1, result1):
     ``params*`` are the input angle vectors (phase last), ``result*`` the
     corresponding compiled circuit payloads.  Returns a tuple of
     relations (one per output *gate* slot group, plus a trailing
-    ``("phase", ...)`` entry), or ``None`` when the two outputs differ
+    ``("phase", ...)`` -- or, when the samples' global-phase inputs are
+    tied, ``("phasepin", ...)`` -- entry), or ``None`` when the two
+    outputs differ
     structurally or some gate cannot be attributed.  The returned map is
     verified to reproduce sample 1 before it is trusted.
     """
@@ -315,7 +322,15 @@ def _derive_map(params0, result0, params1, result1):
         sub = ("gamma", out0[-1])
     if sub is None:
         return None
-    relations.append(("phase", sub))
+    if abs(params0[-1] - params1[-1]) < _REBIND_TOL:
+        # the global-phase input did not move between the samples, so no
+        # learned relation can account for it; pin serves to the observed
+        # phase value -- a request with a different input phase declines
+        # the template and gets a real compile instead of a phase baked
+        # in from the samples
+        relations.append(("phasepin", params0[-1], sub))
+    else:
+        relations.append(("phase", sub))
     if not _verify_map(relations, params1, out1):
         return None
     return tuple(relations)
@@ -350,8 +365,15 @@ def _apply_map(relations, params, guard: bool = True):
             values.extend(triple)
             modes.extend(("exact", "mod", "mod"))
             gamma_total += gamma
-        else:  # ("phase", sub)
-            sub = relation[1]
+        else:  # ("phase", sub) or ("phasepin", pin, sub)
+            if kind == "phasepin":
+                if guard and abs(params[-1] - relation[1]) > _REBIND_TOL:
+                    # learned under a tied phase input; only requests
+                    # sharing that phase can be served faithfully
+                    raise _Unservable
+                sub = relation[2]
+            else:
+                sub = relation[1]
             if sub[0] == "const":
                 values.append(sub[1])
                 modes.append("exact")
@@ -384,19 +406,34 @@ def _verify_map(relations, params1, out1) -> bool:
     return True
 
 
+def _copy_payload(result):
+    """An isolated deep copy of one result payload.
+
+    Result payloads carry mutable pieces -- the metrics and loops lists
+    (PassMetrics objects) and nested property values -- so both the store
+    and the serve sides must sever aliasing: the entry must not share
+    state with whatever object the producer keeps, nor with any result
+    handed to a caller.  Payloads are picklable by construction (they
+    travel the pool and wire boundaries), so a pickle round-trip is the
+    cheapest faithful deep copy.
+    """
+    return pickle.loads(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+
+
 def _served(result, name):
     """A caller-safe copy of a cached result payload, re-labelled.
 
     Content addressing ignores circuit names, so the cached compile may
     have been stored under a different label; the serve patches the
     requester's name back in (slot 1 of the circuit payload), exactly
-    what a fresh compile of their circuit would have carried.  The
-    properties dict is copied so callers mutating their result cannot
-    corrupt the cached entry.
+    what a fresh compile of their circuit would have carried.  The whole
+    payload is deep-copied (:func:`_copy_payload`) so callers mutating
+    their result -- metrics, loops, nested property values -- cannot
+    corrupt the cached entry served to everyone after them.
     """
-    circuit_payload, metrics, loops, elapsed, props = result
+    circuit_payload, metrics, loops, elapsed, props = _copy_payload(result)
     patched = (circuit_payload[0], name) + tuple(circuit_payload[2:])
-    return (patched, metrics, loops, elapsed, dict(props))
+    return (patched, metrics, loops, elapsed, props)
 
 
 class _Entry:
@@ -505,10 +542,20 @@ class ResultCache:
     def lookup(self, circuit_payload, target_payload, options_key):
         """``(result_payload, kind)`` for a job, or ``None`` on a miss.
 
-        ``kind`` is ``"hit"`` (exact entry -- the payload is bit-identical
-        to what the original compile produced) or ``"template"`` (the
-        payload was re-bound from a learned template -- angles match a
-        fresh compile to re-binding arithmetic, ~1e-12).
+        ``kind`` is ``"hit"`` (exact entry) or ``"template"`` (the payload
+        was re-bound from a learned template).  An exact entry that was
+        *stored* from a real compile is bit-identical to what that compile
+        produced.  A template serve -- and the exact entry it is promoted
+        into, which replays it bit-identically -- matches a fresh compile
+        to re-binding arithmetic (~1e-12) in its angles, with one caveat:
+        the serve-time guard (``_BRANCH_MARGIN``) only covers the ``u3``
+        Euler-emission boundaries, so a re-bound angle landing on some
+        *other* pipeline branch point (e.g. a rotation re-bound to 0 that
+        a fresh compile's optimizer would eliminate or merge) yields a
+        circuit that is unitarily equivalent but structurally different
+        from what a fresh compile would emit.  Template serves also carry
+        the template compile's per-pass metrics and wall time, not those
+        of the compile they replace.
         """
         address = self.address(circuit_payload, target_payload, options_key)
         if address is None:
@@ -528,7 +575,10 @@ class ResultCache:
                     self._stats["template_hits"] += 1
                     # promote the rebound result to a first-class exact
                     # entry: repeat requests skip the re-binding math and
-                    # peer lookups (which only see exact keys) can find it
+                    # peer lookups (which only see exact keys) can find it.
+                    # the promoted entry keeps template fidelity (see the
+                    # lookup docstring), it does not become bit-identical
+                    # to a fresh compile by promotion
                     self._insert(
                         self._entries,
                         exact,
@@ -567,15 +617,22 @@ class ResultCache:
     def store(self, circuit_payload, target_payload, options_key, result_payload):
         """Adopt one compiled result; feeds both exact and template entries.
 
-        The first store of a template records the sample; the second
-        (with different angles) triggers map learning; later stores just
-        refresh the exact entry.  Idempotent and safe under concurrent
-        duplicate stores -- last writer wins on equal content.
+        The first store of a template records the sample; the first later
+        store whose angles *all* differ from that sample triggers map
+        learning (partially-varied pairs are deferred, see the module
+        docstring); further stores just refresh the exact entry.
+        Idempotent and safe under concurrent duplicate stores -- last
+        writer wins on equal content.  The payload is deep-copied on the
+        way in, so the caller keeping (and mutating) its own reference
+        cannot corrupt the entry.
         """
         address = self.address(circuit_payload, target_payload, options_key)
         if address is None:
             return
         exact, template, params = address
+        # copied outside the lock: the producer (_run_local, _finish_chunk)
+        # hands the same live metrics/properties objects to its caller
+        result_payload = _copy_payload(result_payload)
         with self._lock:
             expires = self._expires()
             self._insert(
@@ -594,11 +651,24 @@ class ResultCache:
                 )
                 return
             tentry.expires = expires
-            if (
-                tentry.unbindable
-                or tentry.relations is not None
-                or tuple(tentry.params) == tuple(params)
+            if tentry.unbindable or tentry.relations is not None:
+                return
+            if len(params) != len(tentry.params) or not all(
+                abs(p0 - p1) > _REBIND_TOL
+                for p0, p1 in zip(tentry.params[:-1], params[:-1])
             ):
+                # a pair that moves only *some* inputs cannot implicate the
+                # unmoved ones: _fit_slot would skip them and learn any
+                # output they drive as a constant, and verification against
+                # sample 1 (where they are equally unmoved) could not catch
+                # it -- coordinate-descent traffic would then be served the
+                # baked-in value.  Defer: keep the first sample and wait
+                # for a pair in which every rotation slot differs.  (The
+                # trailing global-phase input is exempt -- it is 0 in
+                # virtually all traffic, so requiring it to move would
+                # stop learning outright; a tied phase instead *pins*
+                # template serves to that phase value, see _derive_map.)
+                self._stats["template_deferred"] += 1
                 return
             try:
                 relations = _derive_map(
@@ -654,6 +724,7 @@ class ResultCache:
                 "misses": self._stats["misses"],
                 "template_hits": self._stats["template_hits"],
                 "template_learned": self._stats["template_learned"],
+                "template_deferred": self._stats["template_deferred"],
                 "template_unbindable": self._stats["template_unbindable"],
                 "stores": self._stats["stores"],
                 "uncacheable": self._stats["uncacheable"],

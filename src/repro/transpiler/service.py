@@ -396,6 +396,16 @@ class CompileService:
             analysis_cache=analysis_cache,
             result_cache=result_cache if result_cache is not False else None,
         )
+        if isinstance(opts.seed, tuple):
+            # a sequence seed is a per-circuit schedule (one seed per
+            # batched circuit); adopting it verbatim as the service-wide
+            # default would hand every job a tuple where the pipeline
+            # expects a scalar, and silently key the result cache on it
+            raise TranspilerError(
+                "a sequence seed cannot be a CompileService default -- it "
+                "is a per-circuit schedule; pass seeds= to map() (or a "
+                "scalar seed in CompileOptions)"
+            )
         self.options = opts
         self.mode = mode
         self.max_workers = opts.max_workers

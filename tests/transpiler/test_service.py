@@ -57,6 +57,18 @@ class TestLifecycle:
         service.shutdown()
         service.shutdown()
 
+    def test_sequence_seed_rejected_as_service_default(self):
+        """Regression: a sequence seed is a per-circuit schedule; adopted
+        verbatim as the service default it would hand every job a tuple
+        where the pipeline expects a scalar (and key the result cache on
+        it).  ``map(seeds=[...])`` is the supported spelling."""
+        from repro.transpiler.options import CompileOptions
+
+        with pytest.raises(TranspilerError, match="sequence seed"):
+            CompileService(
+                mode="serial", options=CompileOptions(seed=[0, 1, 2])
+            )
+
     def test_unknown_mode_rejected(self):
         with pytest.raises(TranspilerError, match="mode"):
             CompileService(mode="rocket")
@@ -637,6 +649,26 @@ class TestServiceResultCache:
             assert stats["result_cache_hits"] == 4
             assert stats["chunks"] == 0
             assert service._pool is None  # never even constructed
+
+    def test_caller_mutation_cannot_corrupt_cached_results(self, melbourne):
+        """Regression: ``_run_local`` stores the caller's live result
+        objects; a caller mutating its ``metrics``/``loops`` (or a nested
+        property value) afterwards must not leak into what later callers
+        are served."""
+        circuit = self._batch(1)[0]
+        with CompileService(mode="serial", pipeline="level1") as service:
+            first = service.submit(circuit, target=melbourne.target()).result()
+            n_metrics = len(first.metrics)
+            first.metrics.append("junk")
+            first.loops.append("junk")
+            second = service.submit(circuit, target=melbourne.target()).result()
+            assert service.stats()["result_cache_hits"] == 1
+            assert len(second.metrics) == n_metrics
+            assert "junk" not in second.metrics
+            assert "junk" not in second.loops
+            second.metrics.append("more junk")
+            third = service.submit(circuit, target=melbourne.target()).result()
+            assert len(third.metrics) == n_metrics
 
     def test_result_cache_disabled_with_false(self, melbourne):
         batch = self._batch(2)
