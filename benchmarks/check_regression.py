@@ -33,8 +33,19 @@ With ``--result-cache REPORT.json`` (the report written by
 **compiled-result cache**: a warm repeat of a batch must beat the cold
 compile by at least ``--result-cache-min-speedup`` (default 5x), every
 warm job must actually hit, and the template path must have learned and
-re-bound.  Any report flag may be used without the positional table
-report (the server-smoke CI job gates on the server report alone).
+re-bound.
+
+With ``--sim REPORT.json`` (the report written by
+``bench_sim.py --metrics-json``) the gate checks the **backend-resident
+simulation + vectorized analysis lane**: the fused backend-resident
+statevector must beat the naive per-gate host loop by at least
+``--sim-min-speedup`` (default 2x), the stacked trackers must agree with
+the scalar automata (basis bit-identical, pure within 1e-12), the
+vectorized Hoare optimizer must emit identical circuits, and the QBO/QPO
+pass outputs must be tracker-implementation-independent.
+
+Any report flag may be used without the positional table report (the
+server-smoke CI job gates on the server report alone).
 
 Refreshing the baseline after an intentional change::
 
@@ -190,6 +201,72 @@ def check_result_cache(report: dict, min_speedup: float) -> list[str]:
     return failures
 
 
+def check_sim(report: dict, min_speedup: float) -> list[str]:
+    """Simulation-lane gates over a ``bench_sim.py`` metrics report.
+
+    * the fused backend-resident statevector must beat the naive
+      per-gate host loop by >= ``min_speedup`` and agree to 1e-10;
+    * the stacked basis tracker must be bit-identical to the scalar
+      automaton and the stacked pure tracker within 1e-12;
+    * the vectorized Hoare optimizer must produce identical circuits
+      and must not be slower than the scalar transformers;
+    * QBO/QPO pass outputs must not depend on the tracker implementation.
+    """
+    failures: list[str] = []
+    sim = report.get("sim", {})
+    statevector = sim.get("statevector", {})
+    speedup = statevector.get("speedup")
+    if speedup is None:
+        return [
+            "sim report lacks the statevector speedup; run bench_sim.py "
+            "with --metrics-json"
+        ]
+    if speedup < min_speedup:
+        failures.append(
+            f"backend-resident statevector speedup {speedup:.2f}x fell "
+            f"below the required {min_speedup:.2f}x"
+        )
+    max_error = statevector.get("max_error")
+    if max_error is None or max_error > 1e-10:
+        failures.append(
+            f"fused statevector drifted from the naive per-gate loop "
+            f"(max error {max_error})"
+        )
+    trackers = sim.get("trackers", {})
+    basis = trackers.get("basis", {})
+    if not basis.get("parity"):
+        failures.append("stacked basis tracker diverged from the scalar automaton")
+    pure = trackers.get("pure", {})
+    if not pure.get("parity"):
+        failures.append("stacked pure tracker diverged from the scalar automaton")
+    pure_error = pure.get("max_error")
+    if pure_error is not None and pure_error > 1e-12:
+        failures.append(
+            f"stacked pure-tracker tuples drifted beyond 1e-12 "
+            f"(max error {pure_error})"
+        )
+    hoare = sim.get("hoare", {})
+    if not hoare.get("parity"):
+        failures.append(
+            "vectorized Hoare optimizer emitted a different circuit than "
+            "the scalar transformers"
+        )
+    hoare_speedup = hoare.get("speedup")
+    if hoare_speedup is not None and hoare_speedup < 0.9:
+        failures.append(
+            f"vectorized Hoare transformers ({hoare_speedup:.2f}x) are "
+            f"slower than the scalar path"
+        )
+    passes = sim.get("passes", {})
+    for key in ("qbo_identical", "qpo_identical"):
+        if not passes.get(key):
+            failures.append(
+                f"{key.split('_')[0].upper()} pass output depends on the "
+                f"tracker implementation (scalar vs vectorized)"
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -269,13 +346,26 @@ def main(argv=None):
         default=5.0,
         help="required warm-hit speedup over cold compilation (default 5.0)",
     )
+    parser.add_argument(
+        "--sim",
+        metavar="PATH",
+        help="bench_sim.py metrics report; enables the backend-resident "
+        "simulation speedup and vectorized-analysis parity gates",
+    )
+    parser.add_argument(
+        "--sim-min-speedup",
+        type=float,
+        default=2.0,
+        help="required backend-resident statevector speedup over the naive "
+        "per-gate host loop (default 2.0)",
+    )
     args = parser.parse_args(argv)
     if args.current is None and not (
-        args.executors or args.server or args.kernels or args.result_cache
+        args.executors or args.server or args.kernels or args.result_cache or args.sim
     ):
         parser.error(
             "need a metrics report (positional) or "
-            "--executors/--server/--kernels/--result-cache"
+            "--executors/--server/--kernels/--result-cache/--sim"
         )
 
     failures: list[str] = []
@@ -306,6 +396,8 @@ def main(argv=None):
         failures += check_result_cache(
             load_metrics_json(args.result_cache), args.result_cache_min_speedup
         )
+    if args.sim:
+        failures += check_sim(load_metrics_json(args.sim), args.sim_min_speedup)
     if failures:
         print(f"REGRESSIONS vs {args.baseline}:")
         for failure in failures:
@@ -320,6 +412,8 @@ def main(argv=None):
         checked += " (+ batched-kernel speedup)"
     if args.result_cache:
         checked += " (+ result-cache warm-hit speedup)"
+    if args.sim:
+        checked += " (+ backend-resident simulation speedup)"
     print(
         f"regression gate passed: {rows} rows within tolerance of baseline"
         f"{checked}"

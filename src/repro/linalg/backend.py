@@ -1,33 +1,48 @@
 """Pluggable dense-array backend for the batched numeric kernels.
 
-The batched kernels in :mod:`repro.linalg.batch` are written against the
-NumPy array API subset that CuPy implements verbatim (``matmul`` over
-stacked operands, ``einsum``, fancy indexing, ``linalg.eigvals``), so the
-same code runs on the CPU or on a GPU -- the only difference is which
-module provides the arrays.  This module owns that choice:
+The batched kernels in :mod:`repro.linalg.batch` and the simulator evolve
+loops are written against the NumPy array API subset that CuPy implements
+verbatim (``matmul`` over stacked operands, ``einsum``, fancy indexing,
+``linalg.eigvals``), so the same code runs on the CPU or on a GPU -- the
+only difference is which module provides the arrays.  This module owns
+that choice:
 
 * the default backend is **NumPy**;
 * ``REPRO_ARRAY_BACKEND=cupy`` (read once, lazily) or an explicit
   :func:`set_backend` call selects **CuPy**;
 * a CuPy request on a machine without a working CuPy install is a
   **non-fatal fallback**: a :class:`RuntimeWarning` explains the
-  downgrade, :attr:`ArrayBackend.fallback_reason` records it, and the
-  NumPy backend is used -- mirroring how the analysis cache treats
-  unusable snapshots.  NumPy-only environments therefore never need CuPy
-  installed to pass the full suite.
+  downgrade (once per process per reason -- worker pools re-requesting
+  the backend per task do not re-warn), :attr:`ArrayBackend.fallback_reason`
+  records it, and the NumPy backend is used -- mirroring how the analysis
+  cache treats unusable snapshots.  NumPy-only environments therefore
+  never need CuPy installed to pass the full suite.
 
 Kernels fetch the active backend per call (:func:`get_backend`), convert
 inputs with :meth:`ArrayBackend.asarray` and convert results back with
-:meth:`ArrayBackend.to_numpy`, so callers always see plain NumPy arrays
-regardless of where the arithmetic ran.
+:meth:`ArrayBackend.asnumpy`, so callers always see plain NumPy arrays
+regardless of where the arithmetic ran.  Long-lived evolve loops (the
+simulators) instead keep their state resident on the backend end-to-end
+and pay exactly **one** :meth:`~ArrayBackend.asnumpy` hop at the result
+boundary.
+
+:func:`get_backend` and :func:`set_backend` are thread-safe: resolution
+happens under a process-wide lock, so a worker pool hammering
+``get_backend()`` while another thread switches backends always observes
+a fully-constructed backend.  Components that cache backend-resident
+arrays (device Pauli tables, staged gate matrices) register a callback
+with :func:`register_backend_listener` and are invalidated on every
+:func:`set_backend`, so switching backends mid-process can never hand a
+stale host array to a device path (or vice versa).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 import warnings
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -36,6 +51,7 @@ __all__ = [
     "available_backends",
     "backend_name",
     "get_backend",
+    "register_backend_listener",
     "set_backend",
 ]
 
@@ -50,7 +66,9 @@ class ArrayBackend:
     """A namespace bundling an array module with transfer helpers.
 
     Attributes:
-        name: canonical backend name (``"numpy"`` or ``"cupy"``).
+        name: canonical backend name (``"numpy"`` or ``"cupy"``; custom
+            backend objects passed to :func:`set_backend` may carry other
+            names, e.g. the instrumented test stub).
         xp: the array module itself (``numpy`` or ``cupy``).
         fallback_reason: why a requested backend was downgraded to NumPy
             (``None`` when the requested backend is the one running).
@@ -64,8 +82,14 @@ class ArrayBackend:
         """``array`` as a device array of the backend."""
         return self.xp.asarray(array, dtype=dtype)
 
-    def to_numpy(self, array) -> np.ndarray:
-        """``array`` back as a host NumPy array (no copy when already one)."""
+    def asnumpy(self, array) -> np.ndarray:
+        """``array`` back as a host NumPy array (no copy when already one).
+
+        This is the **result-boundary hop**: backend-resident code paths
+        (simulator evolve loops, batched kernels) call it exactly once,
+        on the final result, so device state never bounces through the
+        host mid-computation.
+        """
         if isinstance(array, np.ndarray):
             return array
         get = getattr(array, "get", None)  # CuPy device -> host transfer
@@ -73,11 +97,36 @@ class ArrayBackend:
             return get()
         return np.asarray(array)
 
+    # Historical spelling; ``asnumpy`` is the canonical boundary verb.
+    to_numpy = asnumpy
+
 
 _NUMPY_BACKEND = ArrayBackend(name="numpy", xp=np)
 
 #: The active backend; ``None`` until first resolved (env var or setter).
 _ACTIVE: ArrayBackend | None = None
+
+#: Guards resolution/switching of ``_ACTIVE`` and the warn-once registry.
+_LOCK = threading.RLock()
+
+#: Fallback reasons already warned about (once per process per reason).
+_WARNED_REASONS: set[str] = set()
+
+#: Callbacks invoked (with the new backend) after every backend switch.
+_LISTENERS: list[Callable[[ArrayBackend], None]] = []
+
+
+def _warn_fallback_once(reason: str, stacklevel: int = 4) -> None:
+    if reason in _WARNED_REASONS:
+        return
+    _WARNED_REASONS.add(reason)
+    warnings.warn(f"{reason}; falling back to NumPy", RuntimeWarning, stacklevel=stacklevel)
+
+
+def _reset_fallback_warnings() -> None:
+    """Forget which fallback warnings fired (test hook)."""
+    with _LOCK:
+        _WARNED_REASONS.clear()
 
 
 def _resolve(name: str) -> ArrayBackend:
@@ -87,7 +136,7 @@ def _resolve(name: str) -> ArrayBackend:
         return _NUMPY_BACKEND
     if normalized not in _KNOWN_BACKENDS:
         reason = f"unknown array backend {name!r} (known: {_KNOWN_BACKENDS})"
-        warnings.warn(f"{reason}; falling back to NumPy", RuntimeWarning, stacklevel=3)
+        _warn_fallback_once(reason)
         return dataclasses.replace(_NUMPY_BACKEND, fallback_reason=reason)
     try:
         import cupy  # noqa: PLC0415 - optional dependency, imported on demand
@@ -96,7 +145,7 @@ def _resolve(name: str) -> ArrayBackend:
         cupy.asarray(np.zeros(1))
     except Exception as exc:  # pragma: no cover - depends on host GPU stack
         reason = f"CuPy backend unavailable ({type(exc).__name__}: {exc})"
-        warnings.warn(f"{reason}; falling back to NumPy", RuntimeWarning, stacklevel=3)
+        _warn_fallback_once(reason)
         return dataclasses.replace(_NUMPY_BACKEND, fallback_reason=reason)
     return ArrayBackend(name="cupy", xp=cupy)  # pragma: no cover - needs GPU
 
@@ -104,17 +153,52 @@ def _resolve(name: str) -> ArrayBackend:
 def get_backend() -> ArrayBackend:
     """The active array backend (resolving ``REPRO_ARRAY_BACKEND`` lazily)."""
     global _ACTIVE
-    if _ACTIVE is None:
-        _ACTIVE = _resolve(os.environ.get(BACKEND_ENV_VAR, "numpy"))
-    return _ACTIVE
+    active = _ACTIVE
+    if active is not None:
+        return active
+    with _LOCK:
+        if _ACTIVE is None:
+            _ACTIVE = _resolve(os.environ.get(BACKEND_ENV_VAR, "numpy"))
+        return _ACTIVE
 
 
-def set_backend(name: str) -> ArrayBackend:
-    """Select the array backend by name; returns the backend that is
-    actually active (NumPy when the request had to fall back)."""
+def set_backend(backend: str | ArrayBackend) -> ArrayBackend:
+    """Select the array backend; returns the backend that is actually
+    active (NumPy when a named request had to fall back).
+
+    Accepts a backend name (``"numpy"`` / ``"cupy"``) or a pre-built
+    :class:`ArrayBackend` instance -- the latter is how test harnesses
+    install instrumented stubs (:mod:`repro.linalg.instrument`).  Every
+    switch notifies the listeners registered with
+    :func:`register_backend_listener` so backend-keyed caches flush.
+    """
     global _ACTIVE
-    _ACTIVE = _resolve(name)
-    return _ACTIVE
+    with _LOCK:
+        if isinstance(backend, ArrayBackend):
+            _ACTIVE = backend
+        else:
+            _ACTIVE = _resolve(backend)
+        active = _ACTIVE
+        listeners = tuple(_LISTENERS)
+    for listener in listeners:
+        listener(active)
+    return active
+
+
+def register_backend_listener(
+    callback: Callable[[ArrayBackend], None],
+) -> Callable[[ArrayBackend], None]:
+    """Call ``callback(new_backend)`` after every :func:`set_backend`.
+
+    Used by components that hold backend-resident caches (the density
+    matrix simulator's device Pauli table, the simulators' staged reset
+    matrices) so a mid-process backend switch can never serve arrays
+    that live on the wrong device.  Returns the callback (decorator
+    friendly).  Listeners are process-lived; register at module import.
+    """
+    with _LOCK:
+        _LISTENERS.append(callback)
+    return callback
 
 
 def backend_name() -> str:

@@ -22,7 +22,15 @@ Python dispatch; this module instead operates on **stacked operands** --
 * :func:`weyl_coordinates_batch` -- canonical-gate coordinates of a stack
   of two-qubit unitaries;
 * :func:`is_unitary_batch` / :func:`is_identity_up_to_phase_batch` --
-  vectorized predicates mirroring :mod:`repro.linalg.predicates`.
+  vectorized predicates mirroring :mod:`repro.linalg.predicates`;
+* :func:`u3_matrix_batch` / :func:`apply_1q_batch` -- vectorized ``u3``
+  construction and Bloch-tuple gate merging (the pure-state tracker's
+  transition, :meth:`repro.rpo.pure_tracker.PureStateTracker.apply_1q_gate`);
+* :func:`bloch_rotation_batch` / :func:`basis_axes_batch` -- stacked
+  SO(3) Bloch rotations and signed-axis classification (the basis-state
+  tracker's transition, :func:`repro.rpo.states.transition`);
+* :func:`monomial_permutations_batch` -- generalized-permutation
+  detection for the Hoare optimizer's support transformers.
 
 Inputs are host (NumPy) arrays; the arithmetic dispatches through the
 pluggable array backend (:mod:`repro.linalg.backend` -- NumPy by default,
@@ -52,6 +60,11 @@ __all__ = [
     "weyl_coordinates_batch",
     "is_unitary_batch",
     "is_identity_up_to_phase_batch",
+    "u3_matrix_batch",
+    "apply_1q_batch",
+    "bloch_rotation_batch",
+    "basis_axes_batch",
+    "monomial_permutations_batch",
 ]
 
 _SWAP = np.array(
@@ -313,6 +326,136 @@ def euler_zyz_angles_batch(stack) -> np.ndarray:
     out = params.copy()
     out[..., 3] = params[..., 3] + (params[..., 1] + params[..., 2]) / 2
     return out
+
+
+# -- batched RPO tracker kernels ---------------------------------------------
+
+_PAULI_STACK = np.array(
+    [
+        [[0, 1], [1, 0]],
+        [[0, -1j], [1j, 0]],
+        [[1, 0], [0, -1]],
+    ],
+    dtype=complex,
+)
+
+
+def u3_matrix_batch(params) -> np.ndarray:
+    """Vectorized :func:`repro.linalg.euler.u3_matrix`.
+
+    Input: ``(..., 3)`` rows of ``(theta, phi, lam)``.  Output:
+    ``(..., 2, 2)`` unitaries matching the scalar constructor elementwise
+    (same ``cos/sin/exp`` arithmetic, entries within 1 ulp).
+    """
+    backend = get_backend()
+    xp = backend.xp
+    angles = backend.asarray(np.asarray(params, dtype=float))
+    if angles.ndim < 2 or angles.shape[-1] != 3:
+        raise ValueError(f"expected (..., 3) angle rows, got shape {angles.shape}")
+    theta = angles[..., 0]
+    phi = angles[..., 1]
+    lam = angles[..., 2]
+    cos = xp.cos(theta / 2.0)
+    sin = xp.sin(theta / 2.0)
+    out = xp.empty(angles.shape[:-1] + (2, 2), dtype=complex)
+    out[..., 0, 0] = cos
+    out[..., 0, 1] = -xp.exp(1j * lam) * sin
+    out[..., 1, 0] = xp.exp(1j * phi) * sin
+    out[..., 1, 1] = xp.exp(1j * (phi + lam)) * cos
+    return backend.to_numpy(out)
+
+
+def apply_1q_batch(matrices, params) -> np.ndarray:
+    """Merged Bloch tuples after one-qubit gates: the stacked form of
+    :meth:`repro.rpo.pure_tracker.PureStateTracker.apply_1q_gate`.
+
+    ``params`` is a ``(..., 2)`` stack of ``(theta, phi)`` pure-state
+    tuples; ``matrices`` is a single ``(2, 2)`` gate (broadcast over the
+    stack) or a matching ``(..., 2, 2)`` stack.  Each tuple is merged as
+    ``u3_params(matrix @ u3(theta, phi, 0))`` -- the scalar tracker's
+    arithmetic verbatim (stacked matmul is elementwise bit-identical to
+    the per-matrix product; extraction matches the scalar branch
+    structure) -- and the new ``(..., 2)`` tuples are returned.
+    """
+    tuples = np.asarray(params, dtype=float)
+    if tuples.ndim < 2 or tuples.shape[-1] != 2:
+        raise ValueError(f"expected (..., 2) Bloch tuples, got shape {tuples.shape}")
+    full = np.concatenate([tuples, np.zeros(tuples.shape[:-1] + (1,))], axis=-1)
+    prepared = u3_matrix_batch(full)
+    merged = u3_params_batch(np.asarray(matrices, dtype=complex) @ prepared)
+    return merged[..., :2]
+
+
+def bloch_rotation_batch(stack) -> np.ndarray:
+    """Vectorized :func:`repro.rpo.states.bloch_rotation_of_gate`.
+
+    Input: ``(..., 2, 2)`` one-qubit unitaries.  Output: ``(..., 3, 3)``
+    SO(3) Bloch rotations ``R_ij = Re tr(sigma_i U sigma_j U^dag) / 2``,
+    computed with the scalar routine's association order (stacked matmuls
+    of ``((P_i @ U) @ P_j) @ U^dag``), so entries are bit-identical to
+    the per-gate loop.
+    """
+    backend = get_backend()
+    xp = backend.xp
+    matrices = _as_stack(stack)
+    if matrices.shape[-2:] != (2, 2):
+        raise ValueError(f"expected 2x2 operands, got shape {matrices.shape}")
+    unitary = backend.asarray(matrices)[..., None, None, :, :]
+    u_dag = xp.conj(xp.swapaxes(unitary, -1, -2))
+    paulis = backend.asarray(_PAULI_STACK)
+    left = paulis[:, None, :, :]  # sigma_i axis
+    right = paulis[None, :, :, :]  # sigma_j axis
+    chain = xp.matmul(xp.matmul(xp.matmul(left, unitary), right), u_dag)
+    trace = chain[..., 0, 0] + chain[..., 1, 1]
+    return backend.to_numpy(0.5 * xp.real(trace))
+
+
+def basis_axes_batch(vectors, atol: float = 1e-8, rtol: float = 1e-5):
+    """Classify stacked Bloch vectors as signed Pauli axes.
+
+    The vectorized form of :func:`repro.rpo.states.basis_state_of_bloch`:
+    for each ``(..., 3)`` vector, pick the dominant axis with the scalar
+    routine's exact tie-breaking (axis 0 wins ties against 1 and 2, axis
+    1 wins against 2) and test ``|dominant - sign| <= atol + rtol`` with
+    both remaining components ``<= atol``.  Returns ``(axis, sign)``
+    integer arrays shaped ``(...,)``; entries that are not basis states
+    (the lattice TOP) get ``axis = -1, sign = 0``.
+
+    This is a cheap host-side predicate -- inputs small, comparisons
+    branch-free -- so it runs on NumPy regardless of the active backend.
+    """
+    v = np.asarray(vectors, dtype=float)
+    if v.ndim < 1 or v.shape[-1] != 3:
+        raise ValueError(f"expected (..., 3) Bloch vectors, got shape {v.shape}")
+    magnitude = np.abs(v)
+    a0, a1, a2 = magnitude[..., 0], magnitude[..., 1], magnitude[..., 2]
+    pick0 = (a0 >= a1) & (a0 >= a2)
+    axis = np.where(pick0, 0, np.where(a1 >= a2, 1, 2))
+    dominant = np.take_along_axis(v, axis[..., None], axis=-1)[..., 0]
+    rest = magnitude.copy()
+    np.put_along_axis(rest, axis[..., None], -np.inf, axis=-1)
+    # max(rest) <= atol  <=>  both non-dominant components <= atol
+    rest_ok = rest.max(axis=-1) <= atol
+    sign = np.where(dominant >= 0, 1, -1)
+    known = (np.abs(dominant - sign) <= atol + rtol) & rest_ok
+    return np.where(known, axis, -1), np.where(known, sign, 0)
+
+
+def monomial_permutations_batch(stack, tol: float = 1e-10):
+    """Column->row permutations of stacked generalized-permutation matrices.
+
+    The vectorized form of the Hoare optimizer's monomial test: matrix
+    ``i`` is a generalized permutation when every column holds exactly one
+    entry with ``|entry| > tol``.  Returns ``(permutations, valid)`` --
+    an ``(N, d)`` integer array mapping column -> row (rows of invalid
+    matrices are filled with ``-1``) and an ``(N,)`` boolean mask.
+    """
+    magnitude = np.abs(_as_stack(stack))
+    counts = (magnitude > tol).sum(axis=-2)
+    valid = (counts == 1).all(axis=-1)
+    # argmax per column: with exactly one entry above tol it IS that entry
+    permutation = magnitude.argmax(axis=-2)
+    return np.where(valid[..., None], permutation, -1), valid
 
 
 # -- batched Weyl coordinates ------------------------------------------------

@@ -1,0 +1,144 @@
+"""Instrumented "fake device" backend for host-round-trip auditing.
+
+The backend-resident code paths (simulator evolve loops, stacked
+kernels) promise a specific transfer discipline: inputs are uploaded
+with :meth:`~repro.linalg.backend.ArrayBackend.asarray`, all arithmetic
+stays on backend arrays, and results cross back to the host through
+exactly one :meth:`~repro.linalg.backend.ArrayBackend.asnumpy` hop at
+the boundary.  On a NumPy-only CI box that contract is invisible --
+every array is a host array, so an accidental ``np.asarray(state)``
+mid-loop costs nothing and silently ships as a device sync.
+
+:class:`InstrumentedBackend` makes the contract observable without a
+GPU.  Its arrays are :class:`DeviceNDArray` -- a ``np.ndarray`` subclass
+that *behaves* like NumPy (every computation works, tests stay cheap)
+but is type-distinguishable from a host array.  The backend counts
+
+* ``uploads``  -- ``asarray`` calls that converted a host array,
+* ``downloads`` -- ``asnumpy``/``to_numpy`` calls that converted a
+  device array back,
+
+and because ``DeviceNDArray`` propagates through NumPy ufuncs the way
+CuPy arrays refuse to mix with host ops, a mid-loop round-trip shows up
+as an unexpected extra download.  Tests install it with
+``set_backend(InstrumentedBackend())`` and assert the counters.
+
+The ``xp`` namespace is the real NumPy module wrapped in a thin proxy
+whose array-returning callables re-tag results as :class:`DeviceNDArray`,
+so backend-generic code (``xp.einsum``, ``xp.linalg.eigvals``, fancy
+indexing) runs unmodified while its outputs stay "on device".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.backend import ArrayBackend
+
+__all__ = ["DeviceNDArray", "InstrumentedBackend", "TransferLog"]
+
+
+class DeviceNDArray(np.ndarray):
+    """A host array wearing a device costume.
+
+    Computes exactly like ``np.ndarray`` but is a distinct type, so
+    residency tests can tell "stayed on the backend" from "silently
+    became a plain host array".  Mimics the CuPy device API surface the
+    library is allowed to touch (``.get()``).
+    """
+
+    def get(self) -> np.ndarray:
+        """Device -> host transfer (CuPy spelling)."""
+        return np.asarray(self).view(np.ndarray)
+
+
+def _tag(value):
+    """View array results as :class:`DeviceNDArray`; pass scalars through."""
+    if isinstance(value, np.ndarray):
+        return value.view(DeviceNDArray)
+    if isinstance(value, tuple):
+        return tuple(_tag(item) for item in value)
+    if isinstance(value, list):
+        return [_tag(item) for item in value]
+    return value
+
+
+class _ModuleProxy:
+    """Wrap a module so array-returning callables re-tag their results.
+
+    Submodules (``np.linalg``, ``np.random``) are proxied recursively;
+    non-callable attributes (``pi``, dtypes) pass through untouched.
+    """
+
+    __slots__ = ("_module",)
+
+    def __init__(self, module):
+        self._module = module
+
+    def __getattr__(self, name):
+        attr = getattr(self._module, name)
+        if isinstance(attr, type(np)):  # submodule
+            return _ModuleProxy(attr)
+        if callable(attr) and not isinstance(attr, type):
+            def tagged(*args, _func=attr, **kwargs):
+                return _tag(_func(*args, **kwargs))
+
+            return tagged
+        return attr
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_ModuleProxy({self._module.__name__})"
+
+
+class TransferLog:
+    """Mutable counters shared by one :class:`InstrumentedBackend`."""
+
+    __slots__ = ("uploads", "downloads", "foreign_downloads")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.uploads = 0
+        self.downloads = 0
+        #: ``asnumpy`` calls whose argument was NOT a device array -- a
+        #: host array leaked to the boundary without ever being uploaded.
+        self.foreign_downloads = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "uploads": self.uploads,
+            "downloads": self.downloads,
+            "foreign_downloads": self.foreign_downloads,
+        }
+
+
+class InstrumentedBackend(ArrayBackend):
+    """A drop-in ``ArrayBackend`` that audits host<->device transfers.
+
+    Install with ``set_backend(InstrumentedBackend())``; restore with
+    ``set_backend("numpy")``.  The name is ``"fake"`` on purpose: code
+    that special-cases the NumPy backend by name (e.g.
+    ``FusedProgram.staged`` skipping the device upload) must treat this
+    backend as a real device, otherwise the audit would measure nothing.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "name", "fake")
+        object.__setattr__(self, "xp", _ModuleProxy(np))
+        object.__setattr__(self, "fallback_reason", None)
+        object.__setattr__(self, "log", TransferLog())
+
+    def asarray(self, array, dtype=None):
+        if not isinstance(array, DeviceNDArray):
+            self.log.uploads += 1
+        return np.asarray(array, dtype=dtype).view(DeviceNDArray)
+
+    def asnumpy(self, array) -> np.ndarray:
+        if isinstance(array, DeviceNDArray):
+            self.log.downloads += 1
+            return array.get()
+        self.log.foreign_downloads += 1
+        return np.asarray(array)
+
+    to_numpy = asnumpy

@@ -8,66 +8,140 @@ tracked global phase) -- which is what licenses the relaxed rewrites.
 The tracker is *passive*: the QBO pass drives it, informing it of the gates
 it finally emits.  Any gate the pass does not understand sends the touched
 qubits to ``TOP`` (always sound).
+
+State is stored **stacked**: two small integer arrays hold every qubit's
+``(axis, sign)`` encoding at once (``axis = -1`` marks ``TOP``), which is
+exactly the enum's value encoding, so ``state()`` is one dictionary probe.
+Transitions run through the stacked kernels
+(:func:`repro.linalg.batch.bloch_rotation_batch` /
+:func:`~repro.linalg.batch.basis_axes_batch`); because a basis vector is a
+signed coordinate axis, the rotated vector is a *column pick* of the SO(3)
+rotation -- bit-identical to the scalar ``rotation @ e_axis`` (the zero
+terms add exactly).  ``vectorized=False`` (or ``REPRO_SCALAR_TRACKERS=1``)
+keeps the original one-call-at-a-time scalar path as a parity reference.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.linalg.batch import basis_axes_batch, bloch_rotation_batch
 from repro.rpo.states import (
+    _STATE_OF_SIGNED_AXIS,
     TOP,
     BasisState,
     basis_state_of_bloch_tuple,
     transition,
 )
+from repro.rpo.vectorization import vectorized_default
 
 __all__ = ["BasisStateTracker"]
 
 
 class BasisStateTracker:
-    """Per-qubit basis-state automaton (Fig. 5)."""
+    """Per-qubit basis-state automaton (Fig. 5), stored as stacked arrays."""
 
-    def __init__(self, num_qubits: int):
-        # quantum registers power up in the ground state (Sec. VI-A)
-        self.states: list[BasisState] = [BasisState.ZERO] * num_qubits
+    def __init__(self, num_qubits: int, vectorized: bool | None = None):
+        # quantum registers power up in the ground state (Sec. VI-A):
+        # axis 2 (+Z) with sign +1 is exactly BasisState.ZERO's encoding
+        self.axes = np.full(num_qubits, 2, dtype=np.int8)
+        self.signs = np.ones(num_qubits, dtype=np.int8)
+        self.vectorized = vectorized_default() if vectorized is None else vectorized
+
+    @property
+    def states(self) -> list[BasisState]:
+        """The tracked states as a list (compatibility view)."""
+        return [self.state(qubit) for qubit in range(len(self.axes))]
 
     def state(self, qubit: int) -> BasisState:
-        return self.states[qubit]
+        axis = int(self.axes[qubit])
+        if axis < 0:
+            return TOP
+        return _STATE_OF_SIGNED_AXIS[(axis, int(self.signs[qubit]))]
 
     def set_state(self, qubit: int, state: BasisState) -> None:
-        self.states[qubit] = state
+        if state is TOP:
+            self.axes[qubit] = -1
+            self.signs[qubit] = 0
+        else:
+            self.axes[qubit] = state.axis
+            self.signs[qubit] = state.sign
 
     def invalidate(self, qubits) -> None:
         for qubit in qubits:
-            self.states[qubit] = TOP
+            self.axes[qubit] = -1
+            self.signs[qubit] = 0
 
     # ------------------------------------------------------------------
     # transitions (the automaton edges of Fig. 5)
     # ------------------------------------------------------------------
 
     def apply_1q_gate(self, qubit: int, matrix: np.ndarray) -> None:
-        self.states[qubit] = transition(self.states[qubit], matrix)
+        if not self.vectorized:
+            self.set_state(qubit, transition(self.state(qubit), matrix))
+            return
+        if self.axes[qubit] < 0:
+            return  # TOP is absorbing
+        rotation = bloch_rotation_batch(np.asarray(matrix, dtype=complex)[None])[0]
+        # basis vectors are signed coordinate axes: R @ (sign * e_axis) is
+        # a column pick, bit-identical to the scalar matmul
+        rotated = int(self.signs[qubit]) * rotation[:, int(self.axes[qubit])]
+        axis, sign = basis_axes_batch(rotated[None])
+        self.axes[qubit] = axis[0]
+        self.signs[qubit] = sign[0]
+
+    def apply_1q_gates(self, qubits, matrices) -> None:
+        """Apply one gate per qubit, all transitions in one stacked kernel.
+
+        ``matrices`` is an ``(N, 2, 2)`` stack aligned with ``qubits``;
+        qubits already at ``TOP`` stay there.  Equivalent to calling
+        :meth:`apply_1q_gate` pairwise (the batched kernels are
+        bit-identical to the scalar loop), in one
+        :func:`~repro.linalg.batch.bloch_rotation_batch` call.
+        """
+        qubits = np.asarray(qubits, dtype=np.intp)
+        stack = np.asarray(matrices, dtype=complex)
+        if not self.vectorized:
+            for qubit, matrix in zip(qubits, stack):
+                self.apply_1q_gate(int(qubit), matrix)
+            return
+        if qubits.size == 0:
+            return
+        known = self.axes[qubits] >= 0
+        if not known.any():
+            return
+        active = qubits[known]
+        rotations = bloch_rotation_batch(stack[known])
+        columns = rotations[np.arange(len(active)), :, self.axes[active].astype(np.intp)]
+        rotated = self.signs[active].astype(float)[:, None] * columns
+        axis, sign = basis_axes_batch(rotated)
+        self.axes[active] = axis.astype(np.int8)
+        self.signs[active] = sign.astype(np.int8)
 
     def apply_reset(self, qubit: int) -> None:
-        self.states[qubit] = BasisState.ZERO
+        self.axes[qubit] = 2
+        self.signs[qubit] = 1
 
     def apply_measure(self, qubit: int) -> None:
         # A Z-basis measurement leaves a Z-basis state intact; anything else
         # collapses to an unknown classical state.
-        if not self.states[qubit].is_z_basis:
-            self.states[qubit] = TOP
+        if self.axes[qubit] != 2:
+            self.axes[qubit] = -1
+            self.signs[qubit] = 0
 
     def apply_annotation(self, qubit: int, theta: float, phi: float) -> None:
         """``ANNOT(theta, phi)`` re-enters the automaton if the promised
         pure state is one of the six basis states (Fig. 5 ANNOT edge)."""
-        self.states[qubit] = basis_state_of_bloch_tuple(theta, phi)
+        self.set_state(qubit, basis_state_of_bloch_tuple(theta, phi))
 
     def apply_swap(self, a: int, b: int) -> None:
         """SWAP and validated SWAPZ exchange the tracked states (including
         TOP), per Sec. VI-A."""
-        self.states[a], self.states[b] = self.states[b], self.states[a]
+        self.axes[a], self.axes[b] = self.axes[b], self.axes[a]
+        self.signs[a], self.signs[b] = self.signs[b], self.signs[a]
 
     def copy(self) -> "BasisStateTracker":
-        clone = BasisStateTracker(len(self.states))
-        clone.states = list(self.states)
+        clone = BasisStateTracker(len(self.axes), vectorized=self.vectorized)
+        clone.axes = self.axes.copy()
+        clone.signs = self.signs.copy()
         return clone

@@ -6,6 +6,14 @@ Each qubit carries a Bloch tuple ``(theta, phi)`` describing its pure state
 gate merging, exactly as the paper describes: applying ``u3(t, p, l)`` to
 ``u3(theta0, phi0, 0)|0>`` yields ``u3(theta1, phi1, 0)|0>`` with the
 trailing ``lambda`` parameter discarded (it acts trivially on ``|0>``).
+
+State is stored **stacked**: ``(theta, phi)`` for every qubit lives in one
+``(N, 2)`` float array (plus a known-mask), and the gate-merge transition
+runs through :func:`repro.linalg.batch.apply_1q_batch` -- the scalar
+arithmetic on stacked operands, angles within ``1e-12`` of the scalar
+path (same matmul, same extraction branch structure).
+``vectorized=False`` (or ``REPRO_SCALAR_TRACKERS=1``) keeps the original
+per-call scalar path as the parity reference.
 """
 
 from __future__ import annotations
@@ -14,8 +22,10 @@ import math
 
 import numpy as np
 
+from repro.linalg.batch import apply_1q_batch
 from repro.linalg.euler import u3_matrix, u3_params_from_unitary
 from repro.rpo.states import BasisState, basis_state_of_bloch_tuple
+from repro.rpo.vectorization import vectorized_default
 
 __all__ = ["PureStateTracker"]
 
@@ -23,29 +33,45 @@ PureState = tuple[float, float]
 
 
 class PureStateTracker:
-    """Per-qubit ``(theta, phi)`` pure-state automaton (Fig. 6)."""
+    """Per-qubit ``(theta, phi)`` pure-state automaton (Fig. 6), stacked."""
 
-    def __init__(self, num_qubits: int):
-        self.states: list[PureState | None] = [(0.0, 0.0)] * num_qubits
+    def __init__(self, num_qubits: int, vectorized: bool | None = None):
+        self.tuples = np.zeros((num_qubits, 2), dtype=float)
+        self.known = np.ones(num_qubits, dtype=bool)
+        self.vectorized = vectorized_default() if vectorized is None else vectorized
+
+    @property
+    def states(self) -> list[PureState | None]:
+        """The tracked tuples as a list (compatibility view)."""
+        return [self.state(qubit) for qubit in range(len(self.known))]
 
     def state(self, qubit: int) -> PureState | None:
-        return self.states[qubit]
+        if not self.known[qubit]:
+            return None
+        theta, phi = self.tuples[qubit]
+        return (float(theta), float(phi))
 
     def is_known(self, qubit: int) -> bool:
-        return self.states[qubit] is not None
+        return bool(self.known[qubit])
 
     def set_state(self, qubit: int, state: PureState | None) -> None:
-        self.states[qubit] = state
+        if state is None:
+            self.known[qubit] = False
+            self.tuples[qubit] = 0.0
+        else:
+            self.known[qubit] = True
+            self.tuples[qubit] = state
 
     def invalidate(self, qubits) -> None:
         for qubit in qubits:
-            self.states[qubit] = None
+            self.known[qubit] = False
+            self.tuples[qubit] = 0.0
 
     # ------------------------------------------------------------------
 
     def statevector(self, qubit: int) -> np.ndarray:
         """The tracked state as a 2-vector (raises on TOP)."""
-        state = self.states[qubit]
+        state = self.state(qubit)
         if state is None:
             raise ValueError(f"qubit {qubit} is not in a tracked pure state")
         theta, phi = state
@@ -56,14 +82,14 @@ class PureStateTracker:
 
     def preparation_matrix(self, qubit: int) -> np.ndarray:
         """``U = u3(theta, phi, 0)`` with ``U|0> = |psi>`` (paper Sec. IV)."""
-        state = self.states[qubit]
+        state = self.state(qubit)
         if state is None:
             raise ValueError(f"qubit {qubit} is not in a tracked pure state")
         return u3_matrix(state[0], state[1], 0.0)
 
     def basis_classification(self, qubit: int) -> BasisState:
         """Classify the tracked tuple as one of the six basis states."""
-        state = self.states[qubit]
+        state = self.state(qubit)
         if state is None:
             return BasisState.TOP
         return basis_state_of_bloch_tuple(*state)
@@ -73,31 +99,62 @@ class PureStateTracker:
     # ------------------------------------------------------------------
 
     def apply_1q_gate(self, qubit: int, matrix: np.ndarray) -> None:
-        state = self.states[qubit]
-        if state is None:
+        if not self.known[qubit]:
             return
-        prepared = matrix @ u3_matrix(state[0], state[1], 0.0)
-        theta, phi, _lam, _gamma = u3_params_from_unitary(prepared)
-        self.states[qubit] = (theta, phi)
+        if not self.vectorized:
+            theta0, phi0 = self.tuples[qubit]
+            prepared = matrix @ u3_matrix(float(theta0), float(phi0), 0.0)
+            theta, phi, _lam, _gamma = u3_params_from_unitary(prepared)
+            self.tuples[qubit] = (theta, phi)
+            return
+        self.tuples[qubit] = apply_1q_batch(
+            np.asarray(matrix, dtype=complex), self.tuples[qubit][None]
+        )[0]
+
+    def apply_1q_gates(self, qubits, matrices) -> None:
+        """Apply one gate per qubit, all merges in one stacked kernel.
+
+        ``matrices`` is an ``(N, 2, 2)`` stack aligned with ``qubits``;
+        unknown qubits stay unknown.  Equivalent to pairwise
+        :meth:`apply_1q_gate` calls (angles within ``1e-12``), in one
+        :func:`~repro.linalg.batch.apply_1q_batch` call.
+        """
+        qubits = np.asarray(qubits, dtype=np.intp)
+        stack = np.asarray(matrices, dtype=complex)
+        if not self.vectorized:
+            for qubit, matrix in zip(qubits, stack):
+                self.apply_1q_gate(int(qubit), matrix)
+            return
+        if qubits.size == 0:
+            return
+        mask = self.known[qubits]
+        if not mask.any():
+            return
+        active = qubits[mask]
+        self.tuples[active] = apply_1q_batch(stack[mask], self.tuples[active])
 
     def apply_reset(self, qubit: int) -> None:
-        self.states[qubit] = (0.0, 0.0)
+        self.known[qubit] = True
+        self.tuples[qubit] = 0.0
 
     def apply_measure(self, qubit: int) -> None:
-        state = self.states[qubit]
-        if state is not None and (
-            abs(state[0]) < 1e-9 or abs(state[0] - math.pi) < 1e-9
-        ):
-            return  # Z-basis states survive measurement
-        self.states[qubit] = None
+        if self.known[qubit]:
+            theta = self.tuples[qubit, 0]
+            if abs(theta) < 1e-9 or abs(theta - math.pi) < 1e-9:
+                return  # Z-basis states survive measurement
+        self.known[qubit] = False
+        self.tuples[qubit] = 0.0
 
     def apply_annotation(self, qubit: int, theta: float, phi: float) -> None:
-        self.states[qubit] = (float(theta), float(phi))
+        self.known[qubit] = True
+        self.tuples[qubit] = (float(theta), float(phi))
 
     def apply_swap(self, a: int, b: int) -> None:
-        self.states[a], self.states[b] = self.states[b], self.states[a]
+        self.tuples[[a, b]] = self.tuples[[b, a]]
+        self.known[[a, b]] = self.known[[b, a]]
 
     def copy(self) -> "PureStateTracker":
-        clone = PureStateTracker(len(self.states))
-        clone.states = list(self.states)
+        clone = PureStateTracker(len(self.known), vectorized=self.vectorized)
+        clone.tuples = self.tuples.copy()
+        clone.known = self.known.copy()
         return clone

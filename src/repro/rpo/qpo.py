@@ -30,8 +30,8 @@ import threading
 import numpy as np
 
 from repro.circuit.instruction import ControlledGate
-from repro.circuit.matrix_utils import embed_gate
 from repro.circuit.quantumcircuit import CircuitInstruction, QuantumCircuit
+from repro.linalg.batch import two_qubit_chain_unitaries
 from repro.gates import SwapGate, SwapZGate, UnitaryGate, XGate, ZGate
 from repro.rpo.pure_tracker import PureStateTracker
 from repro.rpo.states import BasisState
@@ -413,11 +413,16 @@ class _PureBlock:
 
     def matrix(self, cache: AnalysisCache) -> np.ndarray:
         wire_of = {self.pair[0]: 0, self.pair[1]: 1}
-        matrix = np.eye(4, dtype=complex)
-        for instruction in self.instructions:
-            local = tuple(wire_of[q] for q in instruction.qubits)
-            matrix = embed_gate(cache.matrix(instruction.operation), local, 2) @ matrix
-        return matrix
+        matrices = cache.matrices(
+            [instruction.operation for instruction in self.instructions]
+        )
+        chain = [
+            (matrix, tuple(wire_of[q] for q in instruction.qubits))
+            for matrix, instruction in zip(matrices, self.instructions)
+        ]
+        # stacked embedding + fold reduction: bit-identical to the serial
+        # embed_gate(...) @ acc accumulation this replaces
+        return two_qubit_chain_unitaries([chain])[0]
 
 
 def _is_zero_state(state) -> bool:

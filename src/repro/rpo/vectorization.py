@@ -1,0 +1,31 @@
+"""Scalar/vectorized mode selection for the RPO analysis core.
+
+The trackers (and the Hoare optimizer's support transformers) ship two
+implementations of every transition: the original scalar path -- one
+qubit, one matrix, one Python call at a time -- and a vectorized path
+over stacked arrays (:mod:`repro.linalg.batch`).  The vectorized path is
+the default and is parity-gated against the scalar one (bit-identical
+for the integer/basis automata, ``<= 1e-12`` for the angle-valued pure
+tracker); the scalar path stays in-tree as the executable reference for
+those parity tests and as an escape hatch:
+
+    REPRO_SCALAR_TRACKERS=1  ->  every new tracker/pass runs scalar
+
+The environment is re-read per construction (not cached at import), so
+tests can flip modes with ``monkeypatch.setenv``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["SCALAR_ENV_VAR", "vectorized_default"]
+
+SCALAR_ENV_VAR = "REPRO_SCALAR_TRACKERS"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def vectorized_default() -> bool:
+    """``True`` unless ``REPRO_SCALAR_TRACKERS`` requests the scalar paths."""
+    return os.environ.get(SCALAR_ENV_VAR, "").strip().lower() not in _TRUTHY

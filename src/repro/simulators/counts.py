@@ -1,4 +1,4 @@
-"""Measurement outcome containers.
+"""Measurement outcome containers and batched multi-shot sampling.
 
 Keys are bitstrings with classical bit 0 as the *rightmost* character
 (the usual display convention).
@@ -6,7 +6,9 @@ Keys are bitstrings with classical bit 0 as the *rightmost* character
 
 from __future__ import annotations
 
-__all__ = ["Counts", "success_rate"]
+import numpy as np
+
+__all__ = ["Counts", "sample_counts", "success_rate"]
 
 
 class Counts(dict):
@@ -33,6 +35,36 @@ class Counts(dict):
 
     def int_outcomes(self) -> dict[int, int]:
         return {int(key, 2): value for key, value in self.items()}
+
+
+def sample_counts(
+    probabilities: np.ndarray,
+    shots: int,
+    rng: np.random.Generator,
+    measured: list[tuple[int, int]],
+    num_clbits: int,
+) -> Counts:
+    """Sample ``shots`` outcomes from a terminal distribution, batched.
+
+    ``probabilities`` is the (normalized, host) distribution over basis
+    states; ``measured`` maps each measured ``qubit`` to its ``clbit``.
+    All shots draw in **one** ``rng.choice`` call -- the exact call the
+    per-shot loop used to make, so a fixed seed produces the identical
+    multiset of outcomes -- then the outcome -> classical-bits mapping
+    and the tallying run vectorized over the distinct outcomes instead
+    of once per shot.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+    distinct, tallies = np.unique(outcomes, return_counts=True)
+    bits = np.zeros(len(distinct), dtype=np.int64)
+    for qubit, clbit in measured:
+        bits |= ((distinct >> qubit) & 1) << clbit
+    counts: dict[str, int] = {}
+    for pattern, tally in zip(bits, tallies):
+        key = format(int(pattern), f"0{num_clbits}b")
+        counts[key] = counts.get(key, 0) + int(tally)
+    return Counts(counts, num_clbits=num_clbits)
 
 
 def success_rate(counts: Counts, correct: str) -> float:

@@ -5,6 +5,15 @@ noise model the Monte-Carlo sampler unravels, giving *exact* outcome
 probabilities.  Cost is ``4^n`` so this is for small (<= ~8 qubit) circuits;
 it exists to validate the trajectory sampler (the Fig. 11 substitute) and
 for noise studies where sampling error matters.
+
+The density matrix is backend-resident (:mod:`repro.linalg.backend`):
+``rho`` lives on the active array backend for the whole evolution --
+embedded gate/Pauli/Kraus operators are built on the host (cheap, cached)
+and uploaded, the sandwich products run on-device, and the diagonal
+crosses back in one ``asnumpy()`` hop before the (host-side) readout
+fold.  The embedded-Pauli cache is keyed on the backend name and flushed
+on every :func:`~repro.linalg.backend.set_backend`, so switching backends
+mid-process can never hand one backend's arrays to another's matmul.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.circuit.quantumcircuit import QuantumCircuit
+from repro.linalg.backend import get_backend, register_backend_listener
 from repro.simulators.noise import NoiseModel
 
 __all__ = ["DensityMatrixSimulator"]
@@ -31,13 +41,20 @@ _LOWER = np.array([[0, 1], [0, 0]], dtype=complex)
 
 
 @lru_cache(maxsize=4096)
-def _embedded_pauli(index: int, qargs: tuple[int, ...], num_qubits: int) -> np.ndarray:
-    """Full-register Pauli-string tensor, cached per ``(index, qargs, n)``.
+def _embedded_pauli(
+    index: int, qargs: tuple[int, ...], num_qubits: int, backend_name: str = "numpy"
+):
+    """Full-register Pauli-string tensor, cached per ``(index, qargs, n)``
+    *and per backend*.
 
     The depolarizing channel hits the same handful of Pauli strings on
     every noisy gate of a circuit (and again on every circuit of a sweep),
-    so the ``np.kron`` build + embedding happens once per distinct string
-    instead of once per application.  Returned arrays are read-only.
+    so the ``np.kron`` build + embedding + device upload happens once per
+    distinct string instead of once per application.  The cache key
+    includes the backend name -- and :func:`set_backend` flushes the whole
+    cache -- so entries can never alias across backends (a NumPy-keyed
+    array handed to a CuPy matmul, or a stale device array surviving a
+    backend switch).  NumPy-backend arrays are returned read-only.
     """
     from repro.circuit.matrix_utils import embed_gate
 
@@ -45,8 +62,15 @@ def _embedded_pauli(index: int, qargs: tuple[int, ...], num_qubits: int) -> np.n
     for position in range(len(qargs) - 1, -1, -1):
         pauli = np.kron(pauli, _PAULIS[(index >> (2 * position)) & 3])
     full = embed_gate(pauli, qargs, num_qubits)
-    full.setflags(write=False)
-    return full
+    if backend_name == "numpy":
+        full.setflags(write=False)
+        return full
+    return get_backend().asarray(full, dtype=complex)
+
+
+@register_backend_listener
+def _flush_pauli_cache(_backend) -> None:
+    _embedded_pauli.cache_clear()
 
 
 class DensityMatrixSimulator:
@@ -66,8 +90,9 @@ class DensityMatrixSimulator:
                 f"{num_qubits}-qubit density matrix would need "
                 f"4^{num_qubits} entries; compact the circuit first"
             )
+        backend = get_backend()
         dim = 2**num_qubits
-        rho = np.zeros((dim, dim), dtype=complex)
+        rho = backend.xp.zeros((dim, dim), dtype=complex)
         rho[0, 0] = 1.0
 
         measures: list[tuple[int, int]] = []
@@ -82,49 +107,55 @@ class DensityMatrixSimulator:
             if measures:
                 raise ValueError("mid-circuit measurement is not supported")
             if name == "reset":
-                rho = self._reset(rho, instruction.qubits[0], num_qubits)
+                rho = self._reset(rho, instruction.qubits[0], num_qubits, backend)
                 continue
             if not operation.is_gate():
                 raise ValueError(f"cannot simulate {name!r}")
             rho = self._apply_unitary(
-                rho, operation.to_matrix(), instruction.qubits, num_qubits
+                rho, operation.to_matrix(), instruction.qubits, num_qubits, backend
             )
             error = self.noise_model.gate_error(instruction.qubits)
             if error > 0.0:
-                rho = self._depolarize(rho, instruction.qubits, num_qubits, error)
+                rho = self._depolarize(
+                    rho, instruction.qubits, num_qubits, error, backend
+                )
 
-        return self._measure_distribution(rho, measures, circuit.num_clbits, num_qubits)
+        return self._measure_distribution(
+            rho, measures, circuit.num_clbits, num_qubits, backend
+        )
 
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _embed(matrix: np.ndarray, qargs, num_qubits) -> np.ndarray:
+    def _embed(matrix: np.ndarray, qargs, num_qubits, backend):
         from repro.circuit.matrix_utils import embed_gate
 
-        return embed_gate(matrix, qargs, num_qubits)
+        return backend.asarray(embed_gate(matrix, qargs, num_qubits), dtype=complex)
 
-    def _apply_unitary(self, rho, matrix, qargs, num_qubits):
-        full = self._embed(matrix, qargs, num_qubits)
+    def _apply_unitary(self, rho, matrix, qargs, num_qubits, backend):
+        full = self._embed(matrix, qargs, num_qubits, backend)
         return full @ rho @ full.conj().T
 
-    def _depolarize(self, rho, qargs, num_qubits, probability):
+    def _depolarize(self, rho, qargs, num_qubits, probability, backend):
         """k-qubit depolarizing channel: mix in uniform non-identity Paulis."""
         k = len(qargs)
         count = 4**k - 1
         mixed = (1 - probability) * rho
         share = probability / count
         for index in range(1, 4**k):
-            full = _embedded_pauli(index, tuple(qargs), num_qubits)
+            full = _embedded_pauli(index, tuple(qargs), num_qubits, backend.name)
             mixed = mixed + share * (full @ rho @ full.conj().T)
         return mixed
 
-    def _reset(self, rho, qubit, num_qubits):
-        p0 = self._embed(_PROJ_ZERO, (qubit,), num_qubits)
-        k1 = self._embed(_LOWER, (qubit,), num_qubits)
+    def _reset(self, rho, qubit, num_qubits, backend):
+        p0 = self._embed(_PROJ_ZERO, (qubit,), num_qubits, backend)
+        k1 = self._embed(_LOWER, (qubit,), num_qubits, backend)
         return p0 @ rho @ p0.conj().T + k1 @ rho @ k1.conj().T
 
-    def _measure_distribution(self, rho, measures, num_clbits, num_qubits):
-        state_probs = np.real(np.diag(rho)).clip(min=0.0)
+    def _measure_distribution(self, rho, measures, num_clbits, num_qubits, backend):
+        xp = backend.xp
+        # the one boundary hop: only the diagonal crosses to the host
+        state_probs = backend.asnumpy(xp.real(xp.diag(rho))).clip(min=0.0)
         state_probs /= state_probs.sum()
         distribution: dict[str, float] = {}
         flip = {

@@ -10,6 +10,16 @@ same qubit (or qubit pair) collapse into single fused matrices and gate
 matrices resolve through the shared analysis cache's standard-gate table
 instead of one ``to_matrix()`` per instruction.  ``fusion=False`` keeps
 the one-step-per-gate program (matrices still come from the cache).
+
+The evolve loop is **backend-resident** (:mod:`repro.linalg.backend`):
+the state tensor is created on the active array backend, gate matrices
+upload once per fused program (:meth:`FusedProgram.staged`), and every
+reshape/transpose/matmul runs as an array *method* so the same code
+drives NumPy and CuPy arrays.  Results cross back to the host through a
+single ``asnumpy()`` hop at the boundary (:meth:`statevector` returns
+the final state; the terminal-sampling path downloads the outcome
+distribution).  Mid-circuit measurements additionally sync one scalar
+probability per collapse -- inherent to sampling a branch.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ import numpy as np
 
 from repro.circuit.quantumcircuit import QuantumCircuit
 from repro.gates.matrices import standard_gate_matrix
+from repro.linalg.backend import get_backend, register_backend_listener
 from repro.linalg.random import as_rng
 from repro.simulators.fusion import FusedProgram, compile_program
 from repro.transpiler.cache import AnalysisCache
@@ -27,15 +38,36 @@ __all__ = ["StatevectorSimulator", "simulate_statevector", "apply_gate_to_state"
 #: Shared X matrix for the reset path (read-only, from the gate table).
 _X_MATRIX = standard_gate_matrix("x")
 
+#: Per-backend device copy of the X matrix (flushed on backend switches).
+_DEVICE_CONSTANTS: dict[str, object] = {}
 
-def apply_gate_to_state(
-    state: np.ndarray, matrix: np.ndarray, qargs: tuple[int, ...], num_qubits: int
-) -> np.ndarray:
+
+@register_backend_listener
+def _flush_device_constants(_backend) -> None:
+    _DEVICE_CONSTANTS.clear()
+
+
+def _x_matrix(backend):
+    """The reset-path X matrix as a backend-resident array."""
+    if backend.name == "numpy":
+        return _X_MATRIX
+    matrix = _DEVICE_CONSTANTS.get(backend.name)
+    if matrix is None:
+        matrix = backend.asarray(_X_MATRIX, dtype=complex)
+        _DEVICE_CONSTANTS[backend.name] = matrix
+    return matrix
+
+
+def apply_gate_to_state(state, matrix, qargs: tuple[int, ...], num_qubits: int):
     """Apply a k-qubit gate matrix to ``state`` on the given qubits.
 
     Implementation: permute the target qubits into the low bits, reshape to
     ``(2^(n-k), 2^k)``, right-multiply by the transposed matrix, and undo
     the permutation.
+
+    ``state`` and ``matrix`` may be arrays of any active backend (NumPy,
+    CuPy, or the instrumented test stub) -- only array methods and the
+    ``@`` operator touch them, so the state never leaves its device.
     """
     k = len(qargs)
     if matrix.shape != (2**k, 2**k):
@@ -47,13 +79,13 @@ def apply_gate_to_state(
     rest_axes = [ax for ax in range(num_qubits) if ax not in target_axes]
     # order targets so that the *last* axis is qargs[0] (bit 0 of the gate)
     ordered_targets = [axis_of(q) for q in reversed(qargs)]
-    permuted = np.transpose(tensor, rest_axes + ordered_targets)
+    permuted = tensor.transpose(rest_axes + ordered_targets)
     flattened = permuted.reshape(-1, 2**k)
     updated = flattened @ matrix.T
     updated = updated.reshape([2] * num_qubits)
     # invert the permutation
-    inverse = np.argsort(rest_axes + ordered_targets)
-    return np.transpose(updated, inverse).reshape(-1)
+    inverse = np.argsort(rest_axes + ordered_targets).tolist()
+    return updated.transpose(inverse).reshape(-1)
 
 
 class StatevectorSimulator:
@@ -78,10 +110,13 @@ class StatevectorSimulator:
     def statevector(
         self, circuit: QuantumCircuit, initial_state: np.ndarray | None = None
     ) -> np.ndarray:
-        """Final statevector (measurement-free circuits only)."""
+        """Final statevector (measurement-free circuits only).
+
+        Always a host NumPy array -- the one boundary hop.
+        """
         program = compile_program(circuit, fuse=self.fusion, cache=self._cache)
         state, _ = self._evolve(program, initial_state, allow_measure=False)
-        return state
+        return get_backend().asnumpy(state)
 
     def run(
         self,
@@ -95,8 +130,9 @@ class StatevectorSimulator:
         from the final distribution in one pass; otherwise each shot runs a
         full collapsing trajectory over the once-compiled fused program.
         """
-        from repro.simulators.counts import Counts
+        from repro.simulators.counts import Counts, sample_counts
 
+        backend = get_backend()
         program = compile_program(circuit, fuse=self.fusion, cache=self._cache)
         if self._measurements_are_terminal(circuit):
             state, measured = self._evolve(
@@ -104,20 +140,18 @@ class StatevectorSimulator:
             )
             if not measured:
                 raise ValueError("circuit contains no measurements to sample")
-            probabilities = np.abs(state) ** 2
-            probabilities /= probabilities.sum()
-            outcomes = self._rng.choice(len(state), size=shots, p=probabilities)
-            counts: dict[str, int] = {}
-            for outcome in outcomes:
-                bits = 0
-                for qubit, clbit in measured:
-                    if (int(outcome) >> qubit) & 1:
-                        bits |= 1 << clbit
-                key = format(bits, f"0{circuit.num_clbits}b")
-                counts[key] = counts.get(key, 0) + 1
-            return Counts(counts, num_clbits=circuit.num_clbits)
+            xp = backend.xp
+            probabilities = xp.abs(state) ** 2
+            probabilities = probabilities / probabilities.sum()
+            return sample_counts(
+                backend.asnumpy(probabilities),
+                shots,
+                self._rng,
+                measured,
+                circuit.num_clbits,
+            )
 
-        counts = {}
+        counts: dict[str, int] = {}
         for _ in range(shots):
             _, clbits = self._evolve(program, initial_state, allow_measure=True)
             key = format(clbits, f"0{circuit.num_clbits}b")
@@ -144,19 +178,22 @@ class StatevectorSimulator:
         allow_measure: bool,
         skip_measurements: bool = False,
     ):
+        backend = get_backend()
+        xp = backend.xp
         num_qubits = program.num_qubits
         if initial_state is None:
-            state = np.zeros(2**num_qubits, dtype=complex)
+            state = xp.zeros(2**num_qubits, dtype=complex)
             state[0] = 1.0
         else:
-            state = np.asarray(initial_state, dtype=complex).copy()
-            if state.shape != (2**num_qubits,):
+            host = np.asarray(initial_state, dtype=complex)
+            if host.shape != (2**num_qubits,):
                 raise ValueError("initial state has wrong dimension")
+            state = backend.asarray(host).copy()
         state *= np.exp(1j * program.global_phase)
 
         clbits = 0
         measured: list[tuple[int, int]] = []
-        for kind, first, second in program.steps:
+        for kind, first, second in program.staged(backend):
             if kind == "unitary":
                 state = apply_gate_to_state(state, first, second, num_qubits)
                 continue
@@ -172,19 +209,23 @@ class StatevectorSimulator:
             if kind == "reset":
                 outcome, state = self._measure(state, first, num_qubits)
                 if outcome:
-                    state = apply_gate_to_state(state, _X_MATRIX, (first,), num_qubits)
+                    state = apply_gate_to_state(
+                        state, _x_matrix(backend), (first,), num_qubits
+                    )
                 continue
             raise ValueError(f"cannot simulate instruction {first.name!r}")
         return state, (measured if skip_measurements else clbits)
 
-    def _measure(self, state: np.ndarray, qubit: int, num_qubits: int):
-        indices = np.arange(len(state))
+    def _measure(self, state, qubit: int, num_qubits: int):
+        xp = get_backend().xp
+        indices = xp.arange(len(state))
         mask = (indices >> qubit) & 1
-        prob_one = float(np.sum(np.abs(state[mask == 1]) ** 2))
+        # the float() is the only mid-loop sync: sampling a branch needs
+        # the branch probability on the host
+        prob_one = float(xp.sum(xp.abs(state[mask == 1]) ** 2))
         outcome = int(self._rng.random() < prob_one)
-        keep = mask == outcome
-        collapsed = np.where(keep, state, 0.0)
-        norm = np.linalg.norm(collapsed)
+        collapsed = xp.where(mask == outcome, state, 0.0)
+        norm = float(xp.linalg.norm(collapsed))
         if norm < 1e-12:
             raise RuntimeError("measurement collapsed to zero-norm state")
         return outcome, collapsed / norm

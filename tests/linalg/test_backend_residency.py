@@ -1,0 +1,150 @@
+"""Device-residency audits via the instrumented fake backend.
+
+The backend-resident contract (module docs of :mod:`repro.linalg.backend`
+and :mod:`repro.simulators.statevector`): gate matrices upload **once per
+fused program**, the evolving state never leaves the backend, and results
+cross to the host through exactly one ``asnumpy()`` hop at the boundary.
+On plain NumPy a violation is invisible (every array is a host array), so
+these tests install :class:`~repro.linalg.instrument.InstrumentedBackend`
+and assert its transfer counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linalg.backend import set_backend
+from repro.linalg.instrument import DeviceNDArray, InstrumentedBackend, TransferLog
+from repro.simulators import (
+    DensityMatrixSimulator,
+    StatevectorSimulator,
+    circuit_unitary,
+)
+from repro.simulators.fusion import compile_program
+from tests.helpers import random_circuit
+
+
+@pytest.fixture()
+def fake():
+    """Install a fresh instrumented backend; restore NumPy afterwards."""
+    backend = InstrumentedBackend()
+    set_backend(backend)
+    yield backend
+    set_backend("numpy")
+
+
+def unitary_steps(program) -> int:
+    return sum(1 for kind, *_ in program.steps if kind == "unitary")
+
+
+class TestStatevectorResidency:
+    def test_unfused_run_is_one_download(self, fake):
+        """One upload per gate matrix, one boundary hop, no leaks."""
+        circuit = random_circuit(4, 20, seed=1)
+        program = compile_program(circuit, fuse=False)
+        fake.log.reset()
+        state = StatevectorSimulator(fusion=False).statevector(circuit)
+        assert type(state).__module__ == "numpy"
+        assert fake.log.downloads == 1
+        assert fake.log.foreign_downloads == 0
+        assert fake.log.uploads == unitary_steps(program)
+
+    def test_fused_run_stays_at_the_boundary(self, fake):
+        """Fusion's stacked chain kernel adds its own host hop (the fused
+        matrices are built host-side at compile time), but the evolve loop
+        itself still pays exactly one boundary download and nothing leaks."""
+        circuit = random_circuit(4, 20, seed=1)
+        fake.log.reset()
+        simulator = StatevectorSimulator(fusion=True)
+        simulator.statevector(circuit)
+        assert fake.log.foreign_downloads == 0
+        compile_downloads = fake.log.downloads - 1
+        assert 0 <= compile_downloads <= 2
+        program = compile_program(circuit, fuse=True, cache=simulator._cache)
+        assert fake.log.uploads >= unitary_steps(program)
+
+    def test_trajectories_share_one_staged_program(self, fake):
+        """Mid-circuit shots re-use the staged device matrices: uploads
+        stay at one-per-gate no matter the shot count, and collapsing
+        trajectories sync only scalar branch probabilities (zero array
+        downloads)."""
+        circuit = random_circuit(3, 10, seed=3, measure=True)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        program = compile_program(circuit, fuse=False)
+        fake.log.reset()
+        StatevectorSimulator(seed=11, fusion=False).run(circuit, shots=16)
+        assert fake.log.uploads == unitary_steps(program)
+        assert fake.log.downloads == 0
+        assert fake.log.foreign_downloads == 0
+
+    def test_terminal_sampling_downloads_one_distribution(self, fake):
+        """The terminal-measurement fast path downloads the outcome
+        distribution once; the state itself never crosses."""
+        circuit = random_circuit(3, 10, seed=4, measure=True)
+        fake.log.reset()
+        StatevectorSimulator(seed=3, fusion=False).run(circuit, shots=64)
+        assert fake.log.downloads == 1
+        assert fake.log.foreign_downloads == 0
+
+
+class TestStagedProgramCache:
+    def test_staged_uploads_once_and_caches_by_backend(self, fake):
+        program = compile_program(random_circuit(4, 20, seed=1), fuse=False)
+        count = unitary_steps(program)
+        fake.log.reset()
+        first = program.staged(fake)
+        second = program.staged(fake)
+        assert first is second
+        assert fake.log.uploads == count
+        for kind, matrix, _ in first:
+            if kind == "unitary":
+                assert isinstance(matrix, DeviceNDArray)
+
+    def test_backend_switch_invalidates_staged(self, fake):
+        program = compile_program(random_circuit(3, 10, seed=2), fuse=False)
+        program.staged(fake)
+        other = InstrumentedBackend()
+        set_backend(other)
+        other.log.reset()
+        program.staged(other)
+        assert other.log.uploads == unitary_steps(program)
+
+
+class TestOtherSimulatorsResidency:
+    def test_unitary_is_one_download(self, fake):
+        fake.log.reset()
+        circuit_unitary(random_circuit(3, 10, seed=2), fusion=False)
+        assert fake.log.downloads == 1
+        assert fake.log.foreign_downloads == 0
+
+    def test_density_matrix_is_one_download(self, fake):
+        circuit = random_circuit(3, 10, seed=2, measure=True)
+        fake.log.reset()
+        DensityMatrixSimulator().probabilities(circuit)
+        assert fake.log.downloads == 1
+        assert fake.log.foreign_downloads == 0
+
+
+class TestTransferLog:
+    def test_counters_reset(self):
+        log = TransferLog()
+        log.uploads = 3
+        log.downloads = 2
+        log.foreign_downloads = 1
+        log.reset()
+        assert log.as_dict() == {
+            "uploads": 0,
+            "downloads": 0,
+            "foreign_downloads": 0,
+        }
+
+    def test_foreign_download_detected(self, fake):
+        import numpy as np
+
+        host = np.ones(4)
+        fake.asnumpy(host)
+        assert fake.log.foreign_downloads == 1
+        device = fake.asarray(host)
+        fake.asnumpy(device)
+        assert fake.log.downloads == 1

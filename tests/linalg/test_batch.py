@@ -22,6 +22,9 @@ from repro.linalg.backend import (
     set_backend,
 )
 from repro.linalg.batch import (
+    apply_1q_batch,
+    basis_axes_batch,
+    bloch_rotation_batch,
     chain_products,
     embed_1q_in_2q,
     euler_zyz_angles_batch,
@@ -29,10 +32,12 @@ from repro.linalg.batch import (
     is_identity_up_to_phase_batch,
     is_unitary_batch,
     kron_batch,
+    monomial_permutations_batch,
     permute_2q,
     reduce_matmul,
     stack_chains,
     two_qubit_chain_unitaries,
+    u3_matrix_batch,
     u3_params_batch,
     weyl_coordinates_batch,
 )
@@ -271,6 +276,94 @@ class TestPredicatesBatch:
         assert is_identity_up_to_phase_batch(np.empty((0, 2, 2))).shape == (0,)
 
 
+class TestTrackerKernels:
+    """Parity for the stacked analysis kernels against their scalar
+    references (the tracker transition arithmetic and the Hoare monomial
+    test)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, count=st.integers(1, 10))
+    def test_u3_matrix_batch_matches_scalar(self, seed, count):
+        rng = np.random.default_rng(seed)
+        params = rng.uniform(0, 2 * np.pi, (count, 3))
+        batched = u3_matrix_batch(params)
+        for i in range(count):
+            assert np.allclose(batched[i], u3_matrix(*params[i]), atol=1e-15)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, count=st.integers(1, 10))
+    def test_apply_1q_batch_matches_scalar_merge(self, seed, count):
+        rng = np.random.default_rng(seed)
+        tuples = np.column_stack(
+            [rng.uniform(0, np.pi, count), rng.uniform(0, 2 * np.pi, count)]
+        )
+        stack = su_stack(2, count, seed)
+        merged = apply_1q_batch(stack, tuples)
+        for i in range(count):
+            prepared = stack[i] @ u3_matrix(tuples[i, 0], tuples[i, 1], 0.0)
+            theta, phi, _lam, _gamma = u3_params_from_unitary(prepared)
+            assert abs(merged[i, 0] - theta) <= 1e-12
+            assert abs(merged[i, 1] - phi) <= 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, count=st.integers(1, 10))
+    def test_bloch_rotation_batch_matches_scalar(self, seed, count):
+        from repro.rpo.states import bloch_rotation_of_gate
+
+        stack = su_stack(2, count, seed)
+        batched = bloch_rotation_batch(stack)
+        for i in range(count):
+            assert np.array_equal(batched[i], bloch_rotation_of_gate(stack[i]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, count=st.integers(1, 16))
+    def test_basis_axes_batch_matches_scalar(self, seed, count):
+        from repro.rpo.states import TOP, basis_state_of_bloch
+
+        rng = np.random.default_rng(seed)
+        exact = np.eye(3)[rng.integers(0, 3, count)] * rng.choice([1, -1], count)[:, None]
+        noisy = exact + rng.normal(0, 1e-10, (count, 3))
+        fuzzy = rng.normal(0, 0.5, (count, 3))
+        for vectors in (exact, noisy, fuzzy):
+            axes, signs = basis_axes_batch(vectors)
+            for i in range(count):
+                state = basis_state_of_bloch(vectors[i])
+                if state is TOP:
+                    assert axes[i] == -1 and signs[i] == 0
+                else:
+                    assert axes[i] == state.axis and signs[i] == state.sign
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, count=st.integers(1, 8), dim=st.sampled_from([2, 4, 8]))
+    def test_monomial_permutations_batch(self, seed, count, dim):
+        rng = np.random.default_rng(seed)
+        stack = np.empty((count, dim, dim), dtype=complex)
+        expected = np.full((count, dim), -1, dtype=np.int64)
+        expected_valid = np.zeros(count, dtype=bool)
+        for i in range(count):
+            if rng.random() < 0.5:
+                permutation = rng.permutation(dim)
+                phases = np.exp(2j * np.pi * rng.uniform(size=dim))
+                matrix = np.zeros((dim, dim), dtype=complex)
+                matrix[permutation, np.arange(dim)] = phases
+                stack[i] = matrix
+                expected[i] = permutation
+                expected_valid[i] = True
+            else:
+                stack[i] = random_unitary(dim, seed * 100 + i) @ (
+                    np.eye(dim) + 0.5
+                )
+        permutations, valid = monomial_permutations_batch(stack)
+        assert np.array_equal(valid, expected_valid)
+        assert np.array_equal(permutations[expected_valid], expected[expected_valid])
+        assert (permutations[~expected_valid] == -1).all()
+
+    def test_monomial_empty_stack(self):
+        permutations, valid = monomial_permutations_batch(np.empty((0, 2, 2)))
+        assert permutations.shape == (0, 2)
+        assert valid.shape == (0,)
+
+
 class TestBackendSelection:
     def test_default_is_numpy(self):
         assert backend_name() == "numpy"
@@ -281,6 +374,7 @@ class TestBackendSelection:
         assert available_backends() == ("numpy", "cupy")
 
     def test_unknown_backend_falls_back_with_warning(self):
+        backend_mod._reset_fallback_warnings()  # warnings fire once per process
         with pytest.warns(RuntimeWarning, match="unknown array backend"):
             active = set_backend("tpu")
         assert active.name == "numpy"
@@ -296,6 +390,7 @@ class TestBackendSelection:
             pytest.skip("CuPy importable here; fallback path not reachable")
         except Exception:
             pass
+        backend_mod._reset_fallback_warnings()  # warnings fire once per process
         with pytest.warns(RuntimeWarning, match="falling back to NumPy"):
             active = set_backend("cupy")
         assert active.name == "numpy"

@@ -1,0 +1,188 @@
+"""Scalar/vectorized equivalence for the stacked analysis core.
+
+The stacked trackers, the vectorized Hoare support transformers, and the
+RPO passes driving them all keep the original scalar paths alive as
+parity references (``vectorized=False`` / ``REPRO_SCALAR_TRACKERS=1``).
+These tests drive both implementations over the same random traces and
+require agreement: basis-tracker states bit-identical (the column-pick
+kernels add the same zero terms the scalar matmul does), pure-tracker
+tuples within ``1e-12``, Hoare outputs byte-for-byte identical (integer
+bit arithmetic is exact on both paths), and QBO/QPO emitting the same
+circuit no matter which tracker implementation runs underneath.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.matrices import standard_gate_matrix
+from repro.linalg.euler import u3_matrix
+from repro.linalg.random import as_rng
+from repro.rpo import QBOPass, QPOPass
+from repro.rpo.basis_tracker import BasisStateTracker
+from repro.rpo.hoare import HoareOptimizer
+from repro.rpo.pure_tracker import PureStateTracker
+from repro.rpo.vectorization import SCALAR_ENV_VAR, vectorized_default
+from repro.transpiler.passmanager import PropertySet
+from tests.helpers import random_circuit
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+_GATE_NAMES = ["h", "x", "y", "z", "s", "sdg", "t", "tdg"]
+
+
+def random_trace(num_qubits: int, rounds: int, seed: int):
+    """Per-round (qubits, matrices) bulk-apply layers plus scattered
+    reset/measure events, exercising known and TOP lanes together."""
+    rng = as_rng(seed)
+    layers = []
+    for _ in range(rounds):
+        count = int(rng.integers(1, num_qubits + 1))
+        qubits = rng.choice(num_qubits, size=count, replace=False)
+        matrices = []
+        for _ in range(count):
+            if rng.random() < 0.5:
+                matrices.append(standard_gate_matrix(
+                    _GATE_NAMES[int(rng.integers(len(_GATE_NAMES)))]
+                ))
+            else:
+                theta, phi, lam = rng.uniform(0, 2 * np.pi, 3)
+                matrices.append(u3_matrix(theta, phi, lam))
+        event = None
+        if rng.random() < 0.2:
+            kind = "reset" if rng.random() < 0.5 else "measure"
+            event = (kind, int(rng.integers(num_qubits)))
+        layers.append((qubits, np.stack(matrices), event))
+    return layers
+
+
+def drive(tracker, layers):
+    for qubits, matrices, event in layers:
+        tracker.apply_1q_gates(qubits, matrices)
+        if event is not None:
+            kind, qubit = event
+            if kind == "reset":
+                tracker.apply_reset(qubit)
+            else:
+                tracker.apply_measure(qubit)
+    return tracker
+
+
+class TestBasisTrackerEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, num_qubits=st.integers(1, 8))
+    def test_bulk_matches_scalar_bitwise(self, seed, num_qubits):
+        layers = random_trace(num_qubits, 20, seed)
+        scalar = drive(BasisStateTracker(num_qubits, vectorized=False), layers)
+        stacked = drive(BasisStateTracker(num_qubits, vectorized=True), layers)
+        assert np.array_equal(scalar.axes, stacked.axes)
+        assert np.array_equal(scalar.signs, stacked.signs)
+        assert scalar.states == stacked.states
+
+
+class TestPureTrackerEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, num_qubits=st.integers(1, 8))
+    def test_bulk_matches_scalar_within_tolerance(self, seed, num_qubits):
+        layers = random_trace(num_qubits, 20, seed)
+        scalar = drive(PureStateTracker(num_qubits, vectorized=False), layers)
+        stacked = drive(PureStateTracker(num_qubits, vectorized=True), layers)
+        assert np.array_equal(scalar.known, stacked.known)
+        known = scalar.known
+        if known.any():
+            assert np.abs(scalar.tuples[known] - stacked.tuples[known]).max() <= 1e-12
+
+
+def circuit_fingerprint(circuit):
+    """Byte-for-byte comparable rendering of a circuit."""
+    return (
+        circuit.global_phase,
+        [
+            (
+                instruction.operation.name,
+                tuple(float(p) for p in instruction.operation.params),
+                tuple(instruction.qubits),
+                tuple(instruction.clbits),
+            )
+            for instruction in circuit.data
+        ],
+    )
+
+
+class TestHoareEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=seeds,
+        num_qubits=st.integers(2, 5),
+        max_support=st.sampled_from([4, 64, 4096]),
+    )
+    def test_vectorized_output_identical(self, seed, num_qubits, max_support):
+        circuit = random_circuit(num_qubits, 30, seed=seed)
+        scalar = HoareOptimizer(
+            max_support=max_support, vectorized=False
+        ).transform(circuit, PropertySet())
+        vectorized = HoareOptimizer(
+            max_support=max_support, vectorized=True
+        ).transform(circuit, PropertySet())
+        assert circuit_fingerprint(scalar) == circuit_fingerprint(vectorized)
+
+    def test_grover_structure_identical(self):
+        from repro.algorithms import grover_circuit
+
+        circuit = grover_circuit(6, design="noancilla")
+        scalar = HoareOptimizer(max_support=1 << 14, vectorized=False).transform(
+            circuit, PropertySet()
+        )
+        vectorized = HoareOptimizer(max_support=1 << 14, vectorized=True).transform(
+            circuit, PropertySet()
+        )
+        assert circuit_fingerprint(scalar) == circuit_fingerprint(vectorized)
+
+
+class TestPassTrackerIndependence:
+    """The tracker implementation is an internal detail: the circuits the
+    RPO passes emit must not depend on it."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_qbo_output_identical(self, seed):
+        circuit = random_circuit(4, 25, seed=seed)
+        saved = os.environ.pop(SCALAR_ENV_VAR, None)
+        try:
+            os.environ[SCALAR_ENV_VAR] = "1"
+            scalar = QBOPass().run(circuit, PropertySet())
+            del os.environ[SCALAR_ENV_VAR]
+            vectorized = QBOPass().run(circuit, PropertySet())
+        finally:
+            os.environ.pop(SCALAR_ENV_VAR, None)
+            if saved is not None:
+                os.environ[SCALAR_ENV_VAR] = saved
+        assert circuit_fingerprint(scalar) == circuit_fingerprint(vectorized)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_qpo_output_identical(self, seed):
+        circuit = random_circuit(4, 25, seed=seed)
+        saved = os.environ.pop(SCALAR_ENV_VAR, None)
+        try:
+            os.environ[SCALAR_ENV_VAR] = "1"
+            scalar = QPOPass().run(circuit, PropertySet())
+            del os.environ[SCALAR_ENV_VAR]
+            vectorized = QPOPass().run(circuit, PropertySet())
+        finally:
+            os.environ.pop(SCALAR_ENV_VAR, None)
+            if saved is not None:
+                os.environ[SCALAR_ENV_VAR] = saved
+        assert circuit_fingerprint(scalar) == circuit_fingerprint(vectorized)
+
+    def test_env_var_controls_default(self, monkeypatch):
+        monkeypatch.delenv(SCALAR_ENV_VAR, raising=False)
+        assert vectorized_default() is True
+        monkeypatch.setenv(SCALAR_ENV_VAR, "1")
+        assert vectorized_default() is False
+        monkeypatch.setenv(SCALAR_ENV_VAR, "0")
+        assert vectorized_default() is True
