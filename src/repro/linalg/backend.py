@@ -117,9 +117,10 @@ _LISTENERS: list[Callable[[ArrayBackend], None]] = []
 
 
 def _warn_fallback_once(reason: str, stacklevel: int = 4) -> None:
-    if reason in _WARNED_REASONS:
-        return
-    _WARNED_REASONS.add(reason)
+    with _LOCK:
+        if reason in _WARNED_REASONS:
+            return
+        _WARNED_REASONS.add(reason)
     warnings.warn(f"{reason}; falling back to NumPy", RuntimeWarning, stacklevel=stacklevel)
 
 

@@ -119,6 +119,12 @@ class _Cluster:
 class HoareOptimizer(TransformationPass):
     """Support-set Hoare-style optimizer (Z3-free stand-in)."""
 
+    requires = ()
+    preserves = ()
+    invalidates = ()
+    # removes gates provably acting trivially from the all-zeros state
+    equivalence = "state"
+
     def __init__(
         self,
         max_support: int = 64,

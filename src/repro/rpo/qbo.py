@@ -82,6 +82,12 @@ class QBOPass(TransformationPass):
             benchmarks).  Off by default to stay faithful to the paper.
     """
 
+    requires = ()
+    preserves = ()
+    invalidates = ()
+    # relaxed-precondition rewrite: sound from the all-zeros initial state
+    equivalence = "state"
+
     def __init__(self, general_eigenphase: bool = False):
         self.general_eigenphase = general_eigenphase
         # per-run state lives on a thread-local so concurrent runs of one

@@ -46,6 +46,12 @@ _ZERO_ATOL = 1e-9
 class QPOPass(TransformationPass):
     """The Quantum Pure-state Optimization pass."""
 
+    requires = ()
+    preserves = ()
+    invalidates = ()
+    # relaxed-precondition rewrite: sound from the all-zeros initial state
+    equivalence = "state"
+
     def __init__(self, optimize_blocks: bool = True):
         self.optimize_blocks = optimize_blocks
         # per-run state on a thread-local: concurrent runs of one pass

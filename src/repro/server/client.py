@@ -135,6 +135,7 @@ class RemoteCompileService:
         optimization_level: int | None = None,
         seed: int | None = None,
         initial_layout=None,
+        validate: str | None = None,
     ) -> Future:
         """Queue one compilation; returns a future of a
         :class:`~repro.transpiler.passmanager.TranspileResult`.
@@ -143,7 +144,8 @@ class RemoteCompileService:
         for batches so chunking can amortize the round-trips.
         """
         job, resolved_target = self._resolve(
-            circuit, target, pipeline, optimization_level, seed, initial_layout
+            circuit, target, pipeline, optimization_level, seed, initial_layout,
+            validate,
         )
         pool = self._ensure_pool()
         inner = pool.submit(self._compile_chunk, [job], [resolved_target])
@@ -172,6 +174,7 @@ class RemoteCompileService:
         pipeline: str | None = None,
         optimization_level: int | None = None,
         initial_layout=None,
+        validate: str | None = None,
         chunk_size: int | str | None = None,
     ) -> list[TranspileResult]:
         """Compile a batch remotely; blocks, preserves input order.
@@ -189,7 +192,8 @@ class RemoteCompileService:
         resolved_targets = []
         for circuit, target, seed in zip(batch, per_targets, per_seeds):
             job, resolved = self._resolve(
-                circuit, target, pipeline, optimization_level, seed, initial_layout
+                circuit, target, pipeline, optimization_level, seed,
+                initial_layout, validate,
             )
             jobs.append(job)
             resolved_targets.append(resolved)
@@ -228,7 +232,8 @@ class RemoteCompileService:
             return self._pool
 
     def _resolve(
-        self, circuit, target, pipeline, optimization_level, seed, initial_layout
+        self, circuit, target, pipeline, optimization_level, seed,
+        initial_layout, validate=None,
     ) -> tuple[tuple, Target]:
         if not isinstance(circuit, QuantumCircuit):
             raise TranspilerError("RemoteCompileService expects QuantumCircuit inputs")
@@ -255,6 +260,7 @@ class RemoteCompileService:
                 if initial_layout is not None
                 else options.initial_layout
             ),
+            "validate": validate if validate is not None else options.validate,
         }
         job = (circuit_to_payload(circuit), resolved.to_payload(), settings)
         return job, resolved

@@ -149,6 +149,7 @@ class ShardRouter:
         optimization_level: int | None = None,
         seed: int | None = None,
         initial_layout=None,
+        validate: str | None = None,
     ) -> Future:
         """Queue one compilation on the job's affine shard."""
         resolved = self._resolve_target(circuit, target)
@@ -160,6 +161,7 @@ class ShardRouter:
             optimization_level=optimization_level,
             seed=seed,
             initial_layout=initial_layout,
+            validate=validate,
         )
 
     def map(
@@ -171,6 +173,7 @@ class ShardRouter:
         pipeline: str | None = None,
         optimization_level: int | None = None,
         initial_layout=None,
+        validate: str | None = None,
         chunk_size: int | str | None = None,
     ) -> list[TranspileResult]:
         """Fan a batch across the shards; blocks, preserves input order.
@@ -207,6 +210,7 @@ class ShardRouter:
                 pipeline=pipeline,
                 optimization_level=optimization_level,
                 initial_layout=initial_layout,
+                validate=validate,
                 chunk_size=chunk_size,
             )
 

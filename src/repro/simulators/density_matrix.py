@@ -60,7 +60,10 @@ def _embedded_pauli(
 
     pauli = np.array([[1.0]], dtype=complex)
     for position in range(len(qargs) - 1, -1, -1):
-        pauli = np.kron(pauli, _PAULIS[(index >> (2 * position)) & 3])
+        # deliberate host-side staging: the 2x2 Pauli factors live on the
+        # host and the finished operator is uploaded once per cache entry
+        # (TODO: move to backend.kron if a device-side builder ever pays)
+        pauli = np.kron(pauli, _PAULIS[(index >> (2 * position)) & 3])  # repro-lint: ignore[RES001]
     full = embed_gate(pauli, qargs, num_qubits)
     if backend_name == "numpy":
         full.setflags(write=False)

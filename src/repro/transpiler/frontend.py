@@ -167,6 +167,7 @@ def transpile(
     service=None,
     endpoint=None,
     result_cache=None,
+    validate: str | None = None,
     options: CompileOptions | None = None,
 ):
     """Compile one circuit -- or a batch -- for one or many targets.
@@ -229,6 +230,12 @@ def transpile(
             answers without running a pipeline.  Unset, the one-shot
             service runs uncached (a fresh per-call result cache could
             never hit); a caller-owned ``service`` brings its own.
+        validate: QSAN translation-validation mode -- ``"full"`` checks
+            semantic equivalence after every transformation pass *and*
+            audits contract honesty, ``"contracts"`` audits only the
+            declared metadata, ``"off"`` disables checking.  ``None``
+            (default) defers to the ``REPRO_QSAN`` environment variable.
+            See :mod:`repro.analysis.qsan`.
         options: a :class:`~repro.transpiler.options.CompileOptions`
             consolidating the compile knobs above (``pipeline``,
             ``optimization_level``, ``seed``, ``executor``, ...).  The
@@ -255,6 +262,7 @@ def transpile(
         analysis_cache=analysis_cache,
         result_cache=result_cache,
         endpoint=endpoint,
+        validate=validate,
     )
     pipeline = opts.pipeline
     optimization_level = opts.optimization_level
@@ -266,6 +274,7 @@ def transpile(
     analysis_cache = opts.analysis_cache
     result_cache = opts.result_cache
     endpoint = opts.endpoint
+    validate = opts.validate
 
     explicit_basis = basis_gates is not None
     if basis_gates is None:
@@ -353,6 +362,7 @@ def transpile(
                 pipeline=pipeline,
                 optimization_level=optimization_level,
                 initial_layout=initial_layout,
+                validate=validate,
             )
         finally:
             if owned_client is not None:
@@ -376,6 +386,7 @@ def transpile(
             cache=cache,
             max_workers=max_workers,
             result_cache=result_cache,
+            validate=validate,
         )
 
     if not full_result:

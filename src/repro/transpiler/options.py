@@ -72,6 +72,11 @@ class CompileOptions:
     * ``analysis_cache`` / ``result_cache`` -- caller-shared caches.
     * ``endpoint`` -- compile-server URL(s); setting it implies
       ``executor="remote"`` when the executor is left on ``"auto"``.
+    * ``validate`` -- QSAN translation-validation mode (``"full"``,
+      ``"contracts"`` or ``"off"``; ``None`` defers to ``REPRO_QSAN``).
+      Validation never changes the compiled circuit, so the field stays
+      out of equality and the cache key -- but note a cache *hit* serves
+      a stored result without re-running (or re-validating) the pipeline.
     * ``initial_layout`` -- a :class:`~repro.transpiler.layout.Layout`;
       participates in equality but not hashing (layouts are mutable), and
       any job carrying one bypasses the result cache.
@@ -80,6 +85,7 @@ class CompileOptions:
     pipeline: str | None = None
     optimization_level: int | None = None
     seed: object = None
+    validate: str | None = field(default=None, compare=False)
     initial_layout: object = field(default=None, hash=False)
     executor: str = field(default="auto", compare=False)
     max_workers: int | None = field(default=None, compare=False)

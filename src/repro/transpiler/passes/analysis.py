@@ -46,8 +46,12 @@ class FixedPoint(AnalysisPass):
     consecutive observations), so the scheduler must never skip it.
     """
 
+    provides = ()
+
     def __init__(self, key: str):
         self.key = key
+        # declared so QSAN does not flag the flag write as undeclared
+        self.writes = (f"{key}_fixed_point",)
 
     @property
     def name(self) -> str:

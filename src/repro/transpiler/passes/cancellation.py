@@ -31,7 +31,9 @@ def _emit_surviving(circuit: QuantumCircuit, survivors: list) -> QuantumCircuit:
 class CXCancellation(TransformationPass):
     """Cancel immediately adjacent self-inverse two-qubit gate pairs."""
 
+    requires = ()
     preserves = ("is_swap_mapped",)
+    invalidates = ()
 
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
         rewrites = rewrite_counter(property_set)
@@ -81,7 +83,9 @@ class CommutativeCancellation(TransformationPass):
     both wires, the pair collapses.
     """
 
+    requires = ()
     preserves = ("is_swap_mapped",)
+    invalidates = ()
 
     def transform(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
         cache = AnalysisCache.ensure(property_set)

@@ -132,6 +132,10 @@ class ApplyLayout(TransformationPass):
 
     requires = ("layout",)
     provides = ("original_num_qubits",)
+    preserves = ()
+    invalidates = ()
+    # output equals input embedded into the device per the layout property
+    equivalence = "layout"
 
     def __init__(self, coupling: CouplingMap):
         self.coupling = coupling

@@ -41,7 +41,9 @@ _EPS = 1e-10
 class Optimize1qGates(TransformationPass):
     """Fuse runs of adjacent one-qubit gates into minimal u-gates."""
 
+    requires = ()
     preserves = ("is_swap_mapped",)
+    invalidates = ()
 
     def __init__(self, batched: bool = True):
         self.batched = batched

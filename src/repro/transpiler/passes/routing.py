@@ -34,7 +34,12 @@ _LOOKAHEAD_DECAY = 0.7
 class StochasticSwap(TransformationPass):
     """Insert SWAPs so all two-qubit gates respect the coupling map."""
 
+    requires = ()
     provides = ("routing_swaps", "final_permutation")
+    preserves = ()
+    invalidates = ()
+    # output equals input up to the wire relabeling in final_permutation
+    equivalence = "permutation"
 
     def __init__(self, coupling: CouplingMap, trials: int = 5, seed: int | None = None):
         self.coupling = coupling

@@ -28,6 +28,10 @@ _MAX_DEPTH = 64
 class Unroller(TransformationPass):
     """Expand all gates into the given basis."""
 
+    requires = ()
+    preserves = ()
+    invalidates = ()
+
     def __init__(self, basis: Iterable[str] = IBM_BASIS):
         self.basis = set(basis) | _ALWAYS_ALLOWED
 

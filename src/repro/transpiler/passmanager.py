@@ -27,6 +27,14 @@ Each run produces a :class:`TranspileResult` carrying the output circuit,
 the property set, structured per-pass metrics (:class:`PassMetrics`: time,
 gate/depth delta, rewrites applied, skipped flag) and per-loop metrics
 (:class:`LoopMetrics`: iteration count, per-iteration times, convergence).
+
+Runs can execute under the QSAN translation-validation sanitizer
+(:mod:`repro.analysis.qsan`): pass ``validate="full"``/``"contracts"`` to
+:meth:`PassManager.run_with_result` (or export ``REPRO_QSAN=1``) and every
+transformation pass is checked for semantic equivalence of its input and
+output plus honesty of its ``preserves``/``invalidates`` declarations; a
+dishonest pass raises a structured
+:class:`~repro.analysis.qsan.ContractViolation`.
 ``PassManager.run`` remains side-effect free with respect to the manager --
 concurrent runs of one manager do not race; ``PassManager.property_set`` is
 kept only as a deprecated, thread-local alias for the last result's
@@ -62,6 +70,50 @@ class PropertySet(dict):
     """Shared key-value store that passes use to communicate."""
 
 
+#: Property keys the run loop (or the shared cache machinery) writes as a
+#: side effect of executing *any* pass.  They carry no analysis result, so
+#: they neither count as "the pass wrote properties" for validity tracking
+#: nor need declaring in a pass's ``provides``/``writes`` contract.
+#: Underscore-prefixed keys are private scratch space and equally exempt.
+_BOOKKEEPING_PROPERTIES = frozenset(
+    {
+        "pass_times",
+        "rewrite_counts",
+        "loop_metrics",
+        "analysis_cache",  # AnalysisCache.PROPERTY_KEY
+        "target",  # installed by the service, read-only to passes
+        "shard",  # serving endpoint, installed by the router
+        "result_cache",  # CACHE_PROPERTY, installed by the service
+    }
+)
+
+
+def is_bookkeeping_property(key) -> bool:
+    """True for run-loop side-channel keys exempt from pass contracts."""
+    return not isinstance(key, str) or key in _BOOKKEEPING_PROPERTIES or key.startswith("_")
+
+
+def _meaningful_writes(snapshot: dict, properties: PropertySet) -> set[str]:
+    """Non-bookkeeping keys a pass added, rebound or deleted.
+
+    In-place mutation of an existing value (e.g. the rewrite counter) is
+    invisible here by design -- the contract tracks *rebindings* of
+    analysis results, which is how every analysis pass publishes.
+    """
+    written = {
+        key
+        for key, value in properties.items()
+        if not is_bookkeeping_property(key)
+        and (key not in snapshot or snapshot[key] is not value)
+    }
+    written.update(
+        key
+        for key in snapshot
+        if key not in properties and not is_bookkeeping_property(key)
+    )
+    return written
+
+
 #: Set once the ``PassManager.property_set`` deprecation has been announced;
 #: the alias is read on hot serving paths, so the warning fires once per
 #: process rather than once per run/access.
@@ -93,6 +145,9 @@ class PassMetrics:
     depth_after: int
     rewrites: int = 0
     skipped: bool = False
+    #: contract/equivalence violations QSAN attributed to this execution
+    #: (always 0 when the sanitizer is off)
+    violations: int = 0
 
     @property
     def size_delta(self) -> int:
@@ -128,6 +183,9 @@ class TranspileResult:
     metrics: list[PassMetrics] = field(default_factory=list)
     loops: list[LoopMetrics] = field(default_factory=list)
     time: float = 0.0
+    #: QSAN findings (:class:`repro.analysis.qsan.ContractViolation`),
+    #: populated only in report mode -- strict mode raises instead
+    violations: list = field(default_factory=list)
 
     @property
     def pass_times(self) -> list[tuple[str, float]]:
@@ -154,12 +212,27 @@ class BasePass:
       to it, transformation passes to ``()``).
     * ``invalidates`` -- properties clobbered unconditionally, even when
       the circuit comes back unchanged.
+    * ``writes`` -- extra property keys the pass may legitimately rebind
+      without providing them as analysis results (stateful scratch such as
+      ``FixedPoint``'s flag).  QSAN's contract audit treats any other
+      non-bookkeeping property write as an undeclared write.
+
+    ``equivalence`` names the semantic contract QSAN holds the pass to:
+    ``"unitary"`` (exact unitary equivalence up to global phase, the
+    default), ``"state"`` (equivalence from the all-zeros initial state
+    only -- the paper's relaxed-precondition passes), ``"permutation"``
+    (equivalent up to the wire relabeling in ``final_permutation``),
+    ``"layout"`` (equivalent up to embedding per the ``layout`` property),
+    ``"measurement"`` (measurement-outcome distributions match) or
+    ``"none"`` (no semantic check; contract audit only).
     """
 
     requires: tuple[str, ...] = ()
     provides: tuple[str, ...] = ()
     preserves: tuple[str, ...] | str = ()
     invalidates: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    equivalence: str = "unitary"
 
     @property
     def name(self) -> str:
@@ -176,6 +249,7 @@ class AnalysisPass(BasePass):
     """A pass that computes properties but leaves the circuit unchanged."""
 
     preserves = "all"
+    equivalence = "identity"
 
     def analyze(self, circuit: QuantumCircuit, property_set: PropertySet) -> None:
         raise NotImplementedError
@@ -219,9 +293,19 @@ class DoWhileController:
 class _RunState:
     """Book-keeping for one pipeline run (never stored on the manager)."""
 
-    __slots__ = ("properties", "valid", "metrics", "loops", "cache", "size", "depth")
+    __slots__ = (
+        "properties",
+        "valid",
+        "metrics",
+        "loops",
+        "cache",
+        "size",
+        "depth",
+        "validator",
+        "violations",
+    )
 
-    def __init__(self, properties: PropertySet, cache: AnalysisCache):
+    def __init__(self, properties: PropertySet, cache: AnalysisCache, validator=None):
         self.properties = properties
         self.valid: set[str] = set()
         self.metrics: list[PassMetrics] = []
@@ -229,6 +313,8 @@ class _RunState:
         self.cache = cache
         self.size: int | None = None  # memoized metrics of the live circuit
         self.depth: int | None = None
+        self.validator = validator  # QsanValidator or None
+        self.violations: list = []
 
 
 def _unchanged(before: QuantumCircuit, after: QuantumCircuit) -> bool:
@@ -294,6 +380,7 @@ class PassManager:
         circuit: QuantumCircuit,
         property_set: PropertySet | None = None,
         analysis_cache: AnalysisCache | None = None,
+        validate: str | None = None,
     ) -> TranspileResult:
         """Execute the schedule and return the full :class:`TranspileResult`.
 
@@ -301,6 +388,11 @@ class PassManager:
         repeated workloads then skip most matrix constructions and circuit
         analyses.  All run state is local; only a thread-local reference to
         the result is kept for the deprecated ``property_set`` alias.
+
+        ``validate`` turns on the QSAN sanitizer for this run: ``"full"``
+        (equivalence + contract audit), ``"contracts"`` (audit only) or
+        ``"off"``.  ``None`` defers to the ``REPRO_QSAN`` environment
+        variable (see :mod:`repro.analysis.qsan`).
         """
         properties = property_set if property_set is not None else PropertySet()
         properties.setdefault("pass_times", [])
@@ -309,7 +401,15 @@ class PassManager:
             existing = properties.get(AnalysisCache.PROPERTY_KEY)
             cache = existing if isinstance(existing, AnalysisCache) else AnalysisCache()
         properties[AnalysisCache.PROPERTY_KEY] = cache
-        state = _RunState(properties, cache)
+        validator = None
+        if validate != "off":
+            # lazy import: the sanitizer is opt-in and pulls the simulators
+            from repro.analysis.qsan import QsanConfig, QsanValidator
+
+            config = QsanConfig.resolve(validate)
+            if config.enabled:
+                validator = QsanValidator(config)
+        state = _RunState(properties, cache, validator=validator)
         start = time.perf_counter()
         for item in self._schedule:
             circuit = self._run_item(item, circuit, state)
@@ -319,6 +419,7 @@ class PassManager:
             metrics=state.metrics,
             loops=state.loops,
             time=time.perf_counter() - start,
+            violations=state.violations,
         )
         self._thread_results.last = result
         return result
@@ -384,6 +485,8 @@ class PassManager:
             )
             return circuit
 
+        snapshot = dict(properties)
+        valid_before = set(state.valid)
         rewrites_before = rewrite_counter(properties)[pass_.name]
         start = time.perf_counter()
         result = pass_.run(circuit, properties)
@@ -392,15 +495,33 @@ class PassManager:
             raise RuntimeError(f"pass {pass_.name} returned None")
 
         changed = not _unchanged(circuit, result)
-        if changed:
-            # a rewritten circuit invalidates everything not declared kept
+        written = _meaningful_writes(snapshot, properties)
+        undeclared = written - set(provides) - set(pass_.writes)
+        if changed or undeclared:
+            # a rewritten circuit -- or one whose pass wrote properties it
+            # never declared, a change the structural shortcut used to
+            # miss -- invalidates everything not declared kept
             if pass_.preserves != "all":
                 state.valid &= set(pass_.preserves)
+        if changed:
             state.size = result.size()
             state.depth = result.depth()
         state.valid -= set(pass_.invalidates)
         state.valid |= set(provides)
 
+        found = []
+        if state.validator is not None:
+            found = state.validator.check_pass(
+                pass_,
+                circuit,
+                result,
+                properties,
+                snapshot=snapshot,
+                written=written,
+                valid_before=valid_before,
+                changed=changed,
+            )
+            state.violations.extend(found)
         properties["pass_times"].append((pass_.name, elapsed))
         state.metrics.append(
             PassMetrics(
@@ -412,6 +533,9 @@ class PassManager:
                 depth_after=state.depth,
                 rewrites=rewrite_counter(properties)[pass_.name] - rewrites_before,
                 skipped=False,
+                violations=len(found),
             )
         )
+        if found and not state.validator.config.report_only:
+            raise found[0]
         return result

@@ -249,7 +249,12 @@ def _run_job(circuit: QuantumCircuit, target: Target, settings: dict, cache):
         seed=settings["seed"],
         initial_layout=settings["initial_layout"],
     )
-    return manager.run_with_result(circuit, PropertySet(), analysis_cache=cache)
+    return manager.run_with_result(
+        circuit,
+        PropertySet(),
+        analysis_cache=cache,
+        validate=settings.get("validate"),
+    )
 
 
 def _worker_target(state: dict, target_payload: tuple) -> Target:
@@ -344,6 +349,7 @@ class CompileService:
         initial_layout=None,
         analysis_cache: AnalysisCache | None = None,
         result_cache: ResultCache | None | bool = None,
+        validate: str | None = None,
         snapshot_path=None,
         harvest_interval: float = 0.0,
         autosave_interval: float = 0.0,
@@ -395,6 +401,7 @@ class CompileService:
             max_workers=max_workers,
             analysis_cache=analysis_cache,
             result_cache=result_cache if result_cache is not False else None,
+            validate=validate,
         )
         if isinstance(opts.seed, tuple):
             # a sequence seed is a per-circuit schedule (one seed per
@@ -429,6 +436,7 @@ class CompileService:
             ),
             "initial_layout": opts.initial_layout,
             "seed": opts.seed,
+            "validate": opts.validate,
         }
         self._basis = tuple(basis_gates)
         self._default_target = (
@@ -550,6 +558,7 @@ class CompileService:
         optimization_level: int | None = None,
         seed: int | None = None,
         initial_layout=None,
+        validate: str | None = None,
     ) -> Future:
         """Queue one compilation; returns a future of a
         :class:`~repro.transpiler.passmanager.TranspileResult`.
@@ -568,6 +577,7 @@ class CompileService:
                 "optimization_level": optimization_level,
                 "seed": seed,
                 "initial_layout": initial_layout,
+                "validate": validate,
             },
         )
         if self.mode == "process":
@@ -813,6 +823,7 @@ class CompileService:
                     optimization_level=merged["optimization_level"],
                     seed=merged["seed"],
                     initial_layout=merged["initial_layout"],
+                    validate=merged.get("validate"),
                 )
             )
         return futures
@@ -841,6 +852,7 @@ class CompileService:
         pipeline: str | None = None,
         optimization_level: int | None = None,
         initial_layout=None,
+        validate: str | None = None,
         chunk_size: int | str | None = None,
     ) -> list[TranspileResult]:
         """Compile a batch; blocks and returns results in input order.
@@ -869,6 +881,7 @@ class CompileService:
                         "optimization_level": optimization_level,
                         "seed": seed,
                         "initial_layout": initial_layout,
+                        "validate": validate,
                     },
                 )
                 for circuit, target, seed in zip(
@@ -891,6 +904,7 @@ class CompileService:
                     optimization_level=optimization_level,
                     seed=seed,
                     initial_layout=initial_layout,
+                    validate=validate,
                 )
                 for circuit, target, seed in zip(
                     batch, per_circuit_targets, per_circuit_seeds
@@ -1219,6 +1233,7 @@ def transpile_batch(
     cache: AnalysisCache,
     max_workers: int | None,
     result_cache: ResultCache | None = None,
+    validate: str | None = None,
 ) -> list[TranspileResult]:
     """One batch through a short-lived service (the ``transpile()`` path).
 
@@ -1233,6 +1248,7 @@ def transpile_batch(
         initial_layout=initial_layout,
         analysis_cache=cache,
         result_cache=result_cache if result_cache is not None else False,
+        validate=validate,
     )
     try:
         return service.map(batch, targets=targets, seeds=seeds)

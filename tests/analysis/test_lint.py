@@ -1,0 +1,414 @@
+"""Per-rule tests for repro-lint (positive and negative fixtures)."""
+
+import textwrap
+
+from repro.analysis import lint
+from repro.analysis.lint import lint_source
+
+
+SIM_PATH = "src/repro/simulators/statevector.py"
+SERVICE_PATH = "src/repro/transpiler/service.py"
+PASSES_PATH = "src/repro/transpiler/passes/custom.py"
+
+
+def findings(source, path, select=None):
+    return lint_source(textwrap.dedent(source), path, select)
+
+
+def rule_ids(source, path, select=None):
+    return [f.rule for f in findings(source, path, select)]
+
+
+class TestRES001:
+    def test_raw_numpy_in_function_body_flagged(self):
+        src = """
+        import numpy as np
+        def evolve(state):
+            return np.kron(state, state)
+        """
+        found = findings(src, SIM_PATH)
+        assert [f.rule for f in found] == ["RES001"]
+        assert "np.kron" in found[0].message
+
+    def test_np_linalg_flagged(self):
+        src = """
+        import numpy as np
+        def norm(state):
+            return np.linalg.norm(state)
+        """
+        assert rule_ids(src, SIM_PATH) == ["RES001"]
+
+    def test_module_level_constant_allowed(self):
+        src = """
+        import numpy as np
+        PAULI_X = np.kron(np.eye(1), np.eye(2))
+        """
+        assert rule_ids(src, SIM_PATH) == []
+
+    def test_benign_numpy_calls_allowed(self):
+        src = """
+        import numpy as np
+        def order(axes):
+            return np.argsort(axes).tolist()
+        """
+        assert rule_ids(src, SIM_PATH) == []
+
+    def test_out_of_scope_module_ignored(self):
+        src = """
+        import numpy as np
+        def evolve(state):
+            return np.kron(state, state)
+        """
+        assert rule_ids(src, "src/repro/rpo/qbo.py") == []
+
+    def test_pragma_suppresses(self):
+        src = """
+        import numpy as np
+        def evolve(state):
+            return np.kron(state, state)  # repro-lint: ignore[RES001]
+        """
+        assert rule_ids(src, SIM_PATH) == []
+
+
+class TestPAS001:
+    def test_transformation_pass_missing_metadata_flagged(self):
+        src = """
+        from repro.transpiler.passmanager import TransformationPass
+        class MyPass(TransformationPass):
+            def transform(self, circuit, props):
+                return circuit
+        """
+        found = findings(src, PASSES_PATH)
+        assert [f.rule for f in found] == ["PAS001"]
+        assert "requires" in found[0].message
+
+    def test_partial_metadata_still_flagged(self):
+        src = """
+        from repro.transpiler.passmanager import TransformationPass
+        class MyPass(TransformationPass):
+            requires = ()
+            preserves = ("size",)
+            def transform(self, circuit, props):
+                return circuit
+        """
+        found = findings(src, PASSES_PATH)
+        assert [f.rule for f in found] == ["PAS001"]
+        assert "invalidates" in found[0].message
+        assert "requires" not in found[0].message
+
+    def test_fully_declared_transformation_clean(self):
+        src = """
+        from repro.transpiler.passmanager import TransformationPass
+        class MyPass(TransformationPass):
+            requires = ()
+            preserves = ()
+            invalidates = ()
+            def transform(self, circuit, props):
+                return circuit
+        """
+        assert rule_ids(src, PASSES_PATH) == []
+
+    def test_analysis_pass_needs_provides(self):
+        src = """
+        from repro.transpiler.passmanager import AnalysisPass
+        class MyAnalysis(AnalysisPass):
+            def analyze(self, circuit, props):
+                props["thing"] = 1
+        """
+        found = findings(src, PASSES_PATH)
+        assert [f.rule for f in found] == ["PAS001"]
+        assert "provides" in found[0].message
+
+    def test_analysis_pass_with_provides_clean(self):
+        src = """
+        from repro.transpiler.passmanager import AnalysisPass
+        class MyAnalysis(AnalysisPass):
+            provides = ("thing",)
+            def analyze(self, circuit, props):
+                props["thing"] = 1
+        """
+        assert rule_ids(src, PASSES_PATH) == []
+
+    def test_unrelated_class_ignored(self):
+        src = """
+        class Helper:
+            pass
+        """
+        assert rule_ids(src, PASSES_PATH) == []
+
+
+class TestPCK001:
+    def test_boundary_class_with_lock_and_no_hook_flagged(self):
+        src = """
+        import threading
+        class AnalysisCache:
+            def __init__(self):
+                self._lock = threading.RLock()
+        """
+        found = findings(src, SERVICE_PATH)
+        assert [f.rule for f in found] == ["PCK001"]
+        assert "unpicklable" in found[0].message
+
+    def test_boundary_class_with_getstate_clean(self):
+        src = """
+        import threading
+        class AnalysisCache:
+            def __init__(self):
+                self._lock = threading.RLock()
+            def __getstate__(self):
+                state = dict(self.__dict__)
+                state.pop("_lock")
+                return state
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+    def test_boundary_class_with_reduce_clean(self):
+        src = """
+        class ContractViolation(Exception):
+            def __reduce__(self):
+                return (ContractViolation, self.args)
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+    def test_registered_picklable_plain_class_clean(self):
+        src = """
+        class PassMetrics:
+            name = ""
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+    def test_unregistered_boundary_class_flagged(self):
+        # Target is boundary-registered but not registered picklable-as-is
+        src = """
+        class Target:
+            pass
+        """
+        found = findings(src, SERVICE_PATH)
+        assert [f.rule for f in found] == ["PCK001"]
+        assert "registered" in found[0].message
+
+    def test_non_boundary_class_with_lock_ignored(self):
+        src = """
+        import threading
+        class CompileService:
+            def __init__(self):
+                self._lock = threading.RLock()
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+
+class TestDET001:
+    def test_time_in_fingerprint_flagged(self):
+        src = """
+        import time
+        def job_fingerprint(payload):
+            return hash((payload, time.time()))
+        """
+        found = findings(src, SERVICE_PATH)
+        assert [f.rule for f in found] == ["DET001"]
+        assert "time.time" in found[0].message
+
+    def test_random_in_cache_key_flagged(self):
+        src = """
+        import random
+        def make_cache_key(job):
+            return (job, random.random())
+        """
+        assert rule_ids(src, SERVICE_PATH) == ["DET001"]
+
+    def test_uuid4_and_numpy_random_flagged(self):
+        src = """
+        import uuid
+        import numpy as np
+        def entry_key(job):
+            return (uuid.uuid4(), np.random.rand())
+        """
+        assert rule_ids(src, SERVICE_PATH) == ["DET001", "DET001"]
+
+    def test_from_import_detected(self):
+        src = """
+        from time import perf_counter
+        def digest_of(job):
+            return (job, perf_counter())
+        """
+        assert rule_ids(src, SERVICE_PATH) == ["DET001"]
+
+    def test_datetime_now_flagged(self):
+        src = """
+        import datetime
+        def snapshot_fingerprint(job):
+            return (job, datetime.datetime.now())
+        """
+        assert rule_ids(src, SERVICE_PATH) == ["DET001"]
+
+    def test_clock_outside_key_producer_allowed(self):
+        src = """
+        import time
+        def run_pass(p):
+            start = time.perf_counter()
+            return time.perf_counter() - start
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+    def test_deterministic_fingerprint_clean(self):
+        src = """
+        import hashlib
+        def job_fingerprint(payload):
+            return hashlib.sha256(repr(payload).encode()).hexdigest()
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+
+class TestLCK001:
+    def test_unlocked_mutation_flagged(self):
+        src = """
+        _MEMO = {}
+        def remember(key, value):
+            _MEMO[key] = value
+        """
+        found = findings(src, SERVICE_PATH)
+        assert [f.rule for f in found] == ["LCK001"]
+        assert "_MEMO" in found[0].message
+
+    def test_mutation_under_lock_clean(self):
+        src = """
+        import threading
+        _MEMO = {}
+        _LOCK = threading.Lock()
+        def remember(key, value):
+            with _LOCK:
+                _MEMO[key] = value
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+    def test_method_mutators_detected(self):
+        src = """
+        _SEEN = set()
+        def note(item):
+            _SEEN.add(item)
+        """
+        assert rule_ids(src, SERVICE_PATH) == ["LCK001"]
+
+    def test_nested_function_does_not_inherit_lock(self):
+        src = """
+        import threading
+        _ITEMS = []
+        _LOCK = threading.Lock()
+        def outer():
+            with _LOCK:
+                def callback():
+                    _ITEMS.append(1)
+                return callback
+        """
+        assert rule_ids(src, SERVICE_PATH) == ["LCK001"]
+
+    def test_lock_inside_conditional_respected(self):
+        src = """
+        import threading
+        _MEMO = {}
+        _LOCK = threading.Lock()
+        def remember(key, value):
+            if key is not None:
+                with _LOCK:
+                    _MEMO[key] = value
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+    def test_conditional_mutation_flagged_once(self):
+        src = """
+        _MEMO = {}
+        def remember(key, value):
+            if key is not None:
+                _MEMO[key] = value
+        """
+        assert rule_ids(src, SERVICE_PATH) == ["LCK001"]
+
+    def test_module_level_mutation_allowed(self):
+        # import-time registration is single-threaded
+        src = """
+        _REGISTRY = {}
+        _REGISTRY["default"] = object()
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+    def test_out_of_scope_module_ignored(self):
+        src = """
+        _MEMO = {}
+        def remember(key, value):
+            _MEMO[key] = value
+        """
+        assert rule_ids(src, "src/repro/rpo/qbo.py") == []
+
+    def test_immutable_module_constant_ignored(self):
+        src = """
+        _NAMES = ("a", "b")
+        _ACTIVE = None
+        def use():
+            return _NAMES, _ACTIVE
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+
+class TestDriver:
+    def test_skip_file_pragma(self):
+        src = """\
+        # repro-lint: skip-file
+        _MEMO = {}
+        def remember(key, value):
+            _MEMO[key] = value
+        """
+        assert rule_ids(src, SERVICE_PATH) == []
+
+    def test_select_filters_rules(self):
+        src = """
+        import numpy as np
+        _MEMO = {}
+        def cache_key_and_evolve(state):
+            _MEMO[0] = np.kron(state, state)
+        """
+        assert rule_ids(src, SIM_PATH, select={"RES001"}) == ["RES001"]
+
+    def test_multi_rule_pragma(self):
+        src = """
+        import numpy as np
+        def evolve(state):
+            return np.kron(state, state)  # repro-lint: ignore[RES001, DET001]
+        """
+        assert rule_ids(src, SIM_PATH) == []
+
+    def test_findings_sorted_and_rendered(self):
+        src = """
+        import numpy as np
+        def a(state):
+            return np.kron(state, state)
+        def b(state):
+            return np.outer(state, state)
+        """
+        found = findings(src, SIM_PATH)
+        assert [f.line for f in found] == sorted(f.line for f in found)
+        rendered = found[0].render()
+        assert SIM_PATH in rendered and "RES001" in rendered
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint.main([str(clean)]) == 0
+        dirty = tmp_path / "repro" / "transpiler"
+        dirty.mkdir(parents=True)
+        bad = dirty / "service.py"
+        bad.write_text("_MEMO = {}\ndef f(k):\n    _MEMO[k] = 1\n")
+        assert lint.main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "LCK001" in out
+
+    def test_cli_list_rules(self, capsys):
+        assert lint.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RES001", "PAS001", "PCK001", "DET001", "LCK001"):
+            assert rule_id in out
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        result = lint.lint_paths([str(bad)])
+        assert [f.rule for f in result] == ["E999"]

@@ -1,0 +1,105 @@
+"""Property tests: every shipped pipeline survives full QSAN validation.
+
+Random circuits go through preset levels 0-3, the paper's RPO pipelines
+and the Hoare baseline with ``validate="full"`` -- every transformation
+pass must preserve semantics under its declared equivalence contract and
+keep its metadata honest, or the run raises :class:`ContractViolation`.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.transpiler import transpile
+
+_GATES_1Q = ("h", "x", "y", "z", "s", "sdg", "t", "tdg")
+_GATES_2Q = ("cx", "cz", "swap")
+
+
+@st.composite
+def circuits(draw, max_qubits=4, max_ops=14):
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    circuit = QuantumCircuit(num_qubits, num_qubits)
+    for _ in range(draw(st.integers(min_value=0, max_value=max_ops))):
+        kind = draw(st.sampled_from(("1q", "2q", "rot")))
+        qubit = draw(st.integers(min_value=0, max_value=num_qubits - 1))
+        if kind == "1q":
+            getattr(circuit, draw(st.sampled_from(_GATES_1Q)))(qubit)
+        elif kind == "rot":
+            angle = draw(
+                st.floats(
+                    min_value=0.0,
+                    max_value=2 * math.pi,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+            getattr(circuit, draw(st.sampled_from(("rx", "ry", "rz"))))(angle, qubit)
+        else:
+            other = draw(
+                st.integers(min_value=0, max_value=num_qubits - 2).map(
+                    lambda q, qubit=qubit: q if q < qubit else q + 1
+                )
+            )
+            getattr(circuit, draw(st.sampled_from(_GATES_2Q)))(qubit, other)
+    if draw(st.booleans()):
+        for qubit in range(num_qubits):
+            circuit.measure(qubit, qubit)
+    return circuit
+
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize("level", [0, 1, 2, 3])
+@given(circuit=circuits())
+@_SETTINGS
+def test_preset_levels_pass_full_validation(level, circuit):
+    result = transpile(
+        circuit,
+        target="linear:5",
+        optimization_level=level,
+        validate="full",
+        full_result=True,
+    )
+    assert result.violations == []
+
+
+@pytest.mark.parametrize("pipeline", ["rpo", "rpo_ext", "hoare"])
+@given(circuit=circuits())
+@_SETTINGS
+def test_paper_pipelines_pass_full_validation(pipeline, circuit):
+    result = transpile(
+        circuit, pipeline=pipeline, validate="full", full_result=True
+    )
+    assert result.violations == []
+
+
+@given(circuit=circuits(max_qubits=3, max_ops=10))
+@_SETTINGS
+def test_env_variable_enables_validation(circuit):
+    import os
+    from unittest import mock
+
+    with mock.patch.dict(os.environ, {"REPRO_QSAN": "1"}):
+        result = transpile(
+            circuit, target="linear:4", optimization_level=2, full_result=True
+        )
+    assert result.violations == []
+
+
+def test_annotated_rpo_circuit_validates():
+    """ANNOT-bearing circuits take the fingerprint tier and stay clean."""
+    circuit = QuantumCircuit(3)
+    circuit.h(0)
+    circuit.annotate_zero(1)  # promise: qubit 1 is |0>
+    circuit.cx(1, 2)
+    result = transpile(circuit, pipeline="rpo", validate="full", full_result=True)
+    assert result.violations == []

@@ -29,6 +29,8 @@ class RebuildUnchanged(TransformationPass):
 
 
 class AddX(TransformationPass):
+    equivalence = "none"  # test machinery: changes semantics on purpose
+
     def transform(self, circuit, props):
         out = circuit.copy()
         out.x(0)
@@ -111,6 +113,58 @@ class TestAnalysisSkipping:
         assert result.properties["size_fixed_point"]
 
 
+class TestPropertyWritesCountAsChanges:
+    """Regression: a structurally-unchanged transformation pass used to
+    keep every analysis valid even when it wrote new properties."""
+
+    def test_undeclared_write_invalidates_analyses(self):
+        class WritesUndeclared(TransformationPass):
+            def transform(self, circuit, props):
+                props["novel"] = 1
+                return circuit
+
+        pm = PassManager([Size(), WritesUndeclared(), Size()])
+        # validate="off": this deliberately-undeclared write exercises the
+        # scheduler's skip logic, not the sanitizer (which would raise).
+        result = pm.run_with_result(QuantumCircuit(1), validate="off")
+        # the hidden write must invalidate: the second Size re-runs
+        assert [m.skipped for m in result.metrics] == [False, False, False]
+
+    def test_undeclared_delete_invalidates_analyses(self):
+        class DeletesProperty(TransformationPass):
+            def transform(self, circuit, props):
+                props.pop("size", None)
+                return circuit
+
+        pm = PassManager([Size(), DeletesProperty(), Size()])
+        result = pm.run_with_result(QuantumCircuit(1), validate="off")
+        assert [m.skipped for m in result.metrics] == [False, False, False]
+        assert result.properties["size"] == 0
+
+    def test_declared_write_on_unchanged_circuit_keeps_validity(self):
+        class WritesDeclared(TransformationPass):
+            writes = ("routing_flag",)
+
+            def transform(self, circuit, props):
+                props["routing_flag"] = True
+                return circuit
+
+        pm = PassManager([Size(), WritesDeclared(), Size()])
+        result = pm.run_with_result(QuantumCircuit(1))
+        # publishing a declared artifact is not a hidden change: skip holds
+        assert [m.skipped for m in result.metrics] == [False, False, True]
+
+    def test_bookkeeping_writes_do_not_invalidate(self):
+        class TouchesBookkeeping(TransformationPass):
+            def transform(self, circuit, props):
+                props["_scratch"] = object()
+                return circuit
+
+        pm = PassManager([Size(), TouchesBookkeeping(), Size()])
+        result = pm.run_with_result(QuantumCircuit(1))
+        assert [m.skipped for m in result.metrics] == [False, False, True]
+
+
 class TestRequires:
     def test_missing_requirement_raises(self):
         pm = PassManager([NeedsLayout()])
@@ -126,6 +180,8 @@ class TestRequires:
 class TestLoopMetrics:
     def _counting_loop(self, max_iterations=10, stop_after=3):
         class Count(AnalysisPass):
+            writes = ("n",)  # stateful counter: declared write, never skipped
+
             def analyze(self, circuit, props):
                 props["n"] = props.get("n", 0) + 1
 
@@ -163,6 +219,8 @@ class TestConcurrency:
         """Satellite: one manager, many threads, isolated results."""
 
         class RecordWidth(AnalysisPass):
+            provides = ("width",)
+
             def analyze(self, circuit, props):
                 props["width"] = circuit.num_qubits
 
